@@ -1,0 +1,21 @@
+"""Shared helper for the per-artifact benchmark modules."""
+
+from __future__ import annotations
+
+from repro.core.study import Study
+from repro.experiments.base import ExperimentResult
+from repro.experiments.registry import run_experiment
+from repro.reporting.tables import render_experiment
+
+
+def regenerate(benchmark, study: Study, experiment_id: str) -> ExperimentResult:
+    """Run one experiment under the benchmark fixture and print its rows.
+
+    The first (warm-up) call performs the measurements; the timed rounds
+    then reflect the analysis cost over the shared dataset, exactly like
+    re-deriving a figure from the paper's published CSV.
+    """
+    result = benchmark(run_experiment, experiment_id, study)
+    print()
+    print(render_experiment(result))
+    return result

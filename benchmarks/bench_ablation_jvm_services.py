@@ -1,0 +1,48 @@
+"""Ablation: JVM service parallelism on versus off.
+
+Isolates Workload Finding 1's mechanism by rebuilding the engine with
+runtime services disabled: the single-threaded Java CMP speedups of
+Fig. 6 must vanish.  Beyond-paper extension (DESIGN.md §7).
+Run with ``pytest benchmarks/bench_ablation_jvm_services.py --benchmark-only``.
+"""
+
+from repro.execution.engine import ExecutionEngine
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import Configuration
+from repro.reporting.tables import render_rows
+from repro.workloads.catalog import single_threaded_java
+
+
+def _sweep(_study):
+    with_services = ExecutionEngine()
+    without_services = ExecutionEngine(jvm_services_enabled=False)
+    one = Configuration(CORE_I7_45, 1, 1, 2.66)
+    two = Configuration(CORE_I7_45, 2, 1, 2.66)
+    rows = []
+    for bench in single_threaded_java():
+        on = (
+            with_services.ideal(bench, one).seconds.value
+            / with_services.ideal(bench, two).seconds.value
+        )
+        off = (
+            without_services.ideal(bench, one).seconds.value
+            / without_services.ideal(bench, two).seconds.value
+        )
+        rows.append(
+            {
+                "benchmark": bench.name,
+                "cmp_gain_services_on": round(on, 3),
+                "cmp_gain_services_off": round(off, 3),
+            }
+        )
+    return rows
+
+
+def test_jvm_services(benchmark, study):
+    rows = benchmark.pedantic(_sweep, args=(study,), rounds=1, iterations=1)
+    print()
+    print(render_rows(rows))
+    on = [float(r["cmp_gain_services_on"]) for r in rows]
+    off = [float(r["cmp_gain_services_off"]) for r in rows]
+    assert sum(on) / len(on) > 1.05  # Workload Finding 1 present
+    assert all(abs(v - 1.0) < 0.01 for v in off)  # ...and gone without services

@@ -1,0 +1,41 @@
+"""Ablation: equal group weighting (Avg_w) versus plain benchmark mean.
+
+Quantifies why the paper weights the four workload groups equally (§2.6):
+the plain mean over-weights the 27 SPEC CPU benchmarks, systematically
+understating parallel machines.  Beyond-paper extension (DESIGN.md §7).
+Run with ``pytest benchmarks/bench_ablation_weighting.py --benchmark-only``.
+"""
+
+from repro.core.aggregation import full_aggregate
+from repro.hardware.catalog import PROCESSORS
+from repro.hardware.config import stock
+from repro.reporting.tables import render_rows
+from repro.workloads.catalog import BENCHMARKS
+
+
+def _sweep(study):
+    rows = []
+    for spec in PROCESSORS:
+        results = study.run_config(stock(spec))
+        aggregate = full_aggregate(results.values("speedup"), BENCHMARKS)
+        rows.append(
+            {
+                "processor": spec.label,
+                "contexts": spec.hardware_contexts,
+                "Avg_w": round(aggregate["Avg_w"], 2),
+                "Avg_b": round(aggregate["Avg_b"], 2),
+                "Avg_w/Avg_b": round(aggregate["Avg_w"] / aggregate["Avg_b"], 3),
+            }
+        )
+    return rows
+
+
+def test_weighting(benchmark, study):
+    rows = benchmark.pedantic(_sweep, args=(study,), rounds=1, iterations=1)
+    print()
+    print(render_rows(rows))
+    by_key = {row["processor"]: row for row in rows}
+    # Many-context machines gain from equal weighting; single-core
+    # machines are roughly neutral.
+    assert float(by_key["i7 (45)"]["Avg_w/Avg_b"]) > 1.05
+    assert abs(float(by_key["Pentium4 (130)"]["Avg_w/Avg_b"]) - 1.0) < 0.06

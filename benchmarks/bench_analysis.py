@@ -1,0 +1,55 @@
+"""Analysis drill-downs: CPI stacks, power attribution, TDP regression.
+
+The mechanisms behind the paper's numbers, rendered as stacked bars and
+a regression summary.
+Run with ``pytest benchmarks/bench_analysis.py --benchmark-only``.
+"""
+
+from repro.analysis.cpi_stacks import across_machines, render as render_cpi
+from repro.analysis.power_attribution import attribute, render as render_power
+from repro.analysis.tdp_regression import regress
+from repro.hardware.catalog import PROCESSORS
+from repro.hardware.config import stock
+from repro.workloads.catalog import benchmark as lookup
+
+
+def test_cpi_stacks_across_machines(benchmark, study):
+    def build():
+        return {
+            name: across_machines(lookup(name), PROCESSORS)
+            for name in ("mcf", "hmmer", "xalan")
+        }
+
+    stacks = benchmark.pedantic(build, rounds=1, iterations=1)
+    for name, machine_stacks in stacks.items():
+        print(f"\nCPI stack: {name}")
+        print(render_cpi(machine_stacks))
+    mcf_i7 = next(s for s in stacks["mcf"] if s.processor == "i7 (45)")
+    assert mcf_i7.breakdown.memory > mcf_i7.breakdown.base
+
+
+def test_power_attribution(benchmark, study):
+    engine = study.engine
+    xalan = lookup("xalan")
+
+    def build():
+        return {
+            spec.label: attribute(engine.ideal(xalan, stock(spec)))
+            for spec in PROCESSORS
+        }
+
+    attributions = benchmark.pedantic(build, rounds=1, iterations=1)
+    print("\nPower attribution (xalan, stock):")
+    print(render_power(attributions))
+    assert attributions["i7 (45)"].share("core_active") > 0.4
+
+
+def test_tdp_regression(benchmark, study):
+    regression = benchmark.pedantic(regress, args=(study,), rounds=1, iterations=1)
+    print(f"\nTDP regression: watts = {regression.fit.slope:.2f} x TDP "
+          f"+ {regression.fit.intercept:.1f}, R^2 = {regression.r_squared:.3f}")
+    for label, tdp, watts, ratio in regression.machines:
+        print(f"  {label:16s} TDP {tdp:5.0f}W  measured {watts:5.1f}W  "
+              f"ratio {ratio:4.2f}")
+    assert regression.fit.slope > 0
+    assert regression.ratio_spread > 1.5

@@ -1,0 +1,33 @@
+"""Extensions: the future work the paper names, made concrete.
+
+Regenerates the five beyond-paper experiments: JVM vendor comparison
+(§2.2), icc-vs-gcc (§2.1), heap sensitivity, whole-system measurement
+contrast (§2.5/§5), and Turbo Boost thermal headroom (§3.6).
+Run with ``pytest benchmarks/bench_ext_future_work.py --benchmark-only``.
+"""
+
+import pytest
+
+from _harness import regenerate
+from repro.experiments.registry import EXTENSIONS
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXTENSIONS))
+def test_extension(benchmark, study, experiment_id):
+    result = regenerate(benchmark, study, experiment_id)
+    assert len(result.rows) > 0
+
+
+def test_jvm_vendor_claims(benchmark, study):
+    """The paper's §2.2 observations hold on the vendor profiles."""
+    from repro.experiments.ext_jvm_vendors import run
+
+    result = benchmark.pedantic(run, args=(study,), rounds=1, iterations=1)
+    rows = {r["jvm"]: r for r in result.rows}
+    for name, row in rows.items():
+        mean = float(row["mean_performance_vs_hotspot"])
+        assert abs(mean - 1.0) < 0.05, name  # average similar
+        assert abs(float(row["mean_power_vs_hotspot"]) - 1.0) < 0.10, name
+    jrockit = rows["JRockit R28.0.0"]
+    assert float(jrockit["max_benchmark_ratio"]) > 1.1  # individuals vary
+    assert float(jrockit["min_benchmark_ratio"]) < 0.95

@@ -1,0 +1,13 @@
+"""Fig. 1: scalability of multithreaded Java on the i7.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig01_java_scalability.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_fig1(benchmark, study):
+    result = regenerate(benchmark, study, "fig1")
+    assert result.rows[0]["benchmark"] == "sunflow"

@@ -1,0 +1,16 @@
+"""Fig. 2: measured power versus TDP.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig02_tdp.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.reporting import figures
+
+
+def test_fig2(benchmark, study):
+    result = regenerate(benchmark, study, "fig2")
+    print()
+    print(figures.figure2(study))
+    assert all(float(r["tdp_over_max"]) > 1.0 for r in result.rows)

@@ -1,0 +1,16 @@
+"""Fig. 3: benchmark power/performance diversity on the i7.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig03_diversity.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.reporting import figures
+
+
+def test_fig3(benchmark, study):
+    result = regenerate(benchmark, study, "fig3")
+    print()
+    print(figures.figure3(study))
+    assert len(result.rows) == 61

@@ -1,0 +1,24 @@
+"""Fig. 4: effect of CMP (two cores versus one).
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig04_cmp.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.experiments import fig4_cmp
+from repro.reporting.bars import bar_chart
+
+
+def test_fig4(benchmark, study):
+    result = regenerate(benchmark, study, "fig4")
+    assert any("performance" in r for r in result.rows)
+    resolved = fig4_cmp.effects(study)
+    if isinstance(resolved, tuple):
+        resolved = {e.label: e for e in resolved}
+    for metric in ("performance", "power", "energy"):
+        print(f"\n{metric} (bars around 1.0):")
+        print(bar_chart(
+            {label: getattr(e, metric) for label, e in resolved.items()},
+            baseline=1.0,
+        ))

@@ -1,0 +1,13 @@
+"""Fig. 6: CMP impact for single-threaded Java.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig06_st_java.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_fig6(benchmark, study):
+    result = regenerate(benchmark, study, "fig6")
+    assert len(result.rows) == 10

@@ -1,0 +1,16 @@
+"""Fig. 7: impact of clock scaling.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig07_clock.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.reporting import figures
+
+
+def test_fig7(benchmark, study):
+    result = regenerate(benchmark, study, "fig7")
+    print()
+    print(figures.figure7c(study))
+    assert any("energy_per_doubling" in r for r in result.rows)

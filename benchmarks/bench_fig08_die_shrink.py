@@ -1,0 +1,13 @@
+"""Fig. 8: impact of a die shrink.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig08_die_shrink.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_fig8(benchmark, study):
+    result = regenerate(benchmark, study, "fig8")
+    assert any("comparison" in r for r in result.rows)

@@ -1,0 +1,13 @@
+"""Fig. 9: effect of gross microarchitecture change.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig09_microarch.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_fig9(benchmark, study):
+    result = regenerate(benchmark, study, "fig9")
+    assert len([r for r in result.rows if "performance" in r]) >= 4

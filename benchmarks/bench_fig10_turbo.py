@@ -1,0 +1,24 @@
+"""Fig. 10: impact of Turbo Boost.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig10_turbo.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.experiments import fig10_turbo
+from repro.reporting.bars import bar_chart
+
+
+def test_fig10(benchmark, study):
+    result = regenerate(benchmark, study, "fig10")
+    assert len([r for r in result.rows if "performance" in r]) >= 4
+    resolved = fig10_turbo.effects(study)
+    if isinstance(resolved, tuple):
+        resolved = {e.label: e for e in resolved}
+    for metric in ("performance", "power", "energy"):
+        print(f"\n{metric} (bars around 1.0):")
+        print(bar_chart(
+            {label: getattr(e, metric) for label, e in resolved.items()},
+            baseline=1.0,
+        ))

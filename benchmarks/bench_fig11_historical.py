@@ -1,0 +1,16 @@
+"""Fig. 11: historical power/performance overview.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig11_historical.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.reporting import figures
+
+
+def test_fig11(benchmark, study):
+    result = regenerate(benchmark, study, "fig11")
+    print()
+    print(figures.figure11(study))
+    assert len(result.rows) == 8

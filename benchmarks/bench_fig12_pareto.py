@@ -1,0 +1,16 @@
+"""Fig. 12: energy/performance Pareto frontiers at 45nm.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_fig12_pareto.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.reporting import figures
+
+
+def test_fig12(benchmark, study):
+    result = regenerate(benchmark, study, "fig12")
+    print()
+    print(figures.figure12(study))
+    assert len(result.rows) == 5

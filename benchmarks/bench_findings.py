@@ -1,0 +1,17 @@
+"""The paper's thirteen findings, evaluated against the reproduction.
+
+Prints each WORKLOAD/ARCHITECTURE finding with its supporting evidence.
+Run with ``pytest benchmarks/bench_findings.py --benchmark-only``.
+"""
+
+from repro.experiments.findings import evaluate_all
+
+
+def test_findings(benchmark, study):
+    reports = benchmark.pedantic(evaluate_all, args=(study,), rounds=1, iterations=1)
+    print()
+    for report in reports:
+        status = "HOLDS" if report.holds else "FAILS"
+        print(f"{report.finding_id:3s} {status}: {report.statement}")
+        print(f"     evidence: {report.evidence}")
+    assert sum(r.holds for r in reports) == 13

@@ -1,0 +1,13 @@
+"""Table 1: benchmark groups and reference times.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_table1_catalog.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_table1(benchmark, study):
+    result = regenerate(benchmark, study, "table1")
+    assert len(result.rows) == 61

@@ -1,0 +1,34 @@
+"""Table 2: aggregate 95% confidence intervals for time and power.
+
+Runs the paper's full repetition protocol (3/5 native executions, 20 JVM
+invocations) over the entire 45-configuration space and aggregates the
+relative confidence intervals per workload group.  This is the harness's
+heaviest artifact — it measures every run in the study.
+Run with ``pytest benchmarks/bench_table2_confidence.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+from repro.experiments.table2_confidence import run as run_table2
+from repro.hardware.configurations import all_configurations
+from repro.reporting.tables import render_experiment
+
+
+def test_table2(benchmark, study):
+    result = regenerate(benchmark, study, "table2")
+    average = result.row_for("group", "Average")
+    assert float(average["time_avg"]) < 0.03
+    assert float(average["power_avg"]) < 0.03
+
+
+def test_table2_full_sweep(benchmark, study):
+    """The paper's aggregation over all 45 configurations."""
+    result = benchmark.pedantic(
+        run_table2,
+        args=(study,),
+        kwargs={"configurations": all_configurations()},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(render_experiment(result))
+    assert float(result.row_for("group", "Average")["time_avg"]) < 0.03

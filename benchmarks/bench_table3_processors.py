@@ -1,0 +1,13 @@
+"""Table 3: the eight processors.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_table3_processors.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_table3(benchmark, study):
+    result = regenerate(benchmark, study, "table3")
+    assert len(result.rows) == 8

@@ -1,0 +1,13 @@
+"""Table 4: average performance and power per stock processor.
+
+Regenerates the artifact with the paper's full measurement protocol and
+prints the paper-versus-measured rows.  Run with
+``pytest benchmarks/bench_table4_perf_power.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_table4(benchmark, study):
+    result = regenerate(benchmark, study, "table4")
+    assert all("speedup:Avg_w" in row for row in result.rows)

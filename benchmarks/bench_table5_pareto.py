@@ -1,0 +1,16 @@
+"""Table 5: Pareto-efficient 45nm processor configurations.
+
+Expands the four 45nm processors into 29 configurations, measures every
+benchmark on each, and reports the Pareto-efficient set per workload
+grouping next to the paper's columns.
+Run with ``pytest benchmarks/bench_table5_pareto.py --benchmark-only``.
+"""
+
+from _harness import regenerate
+
+
+def test_table5(benchmark, study):
+    result = regenerate(benchmark, study, "table5")
+    assert len(result.rows) == 5
+    for row in result.rows:
+        assert int(row["count"]) >= 2

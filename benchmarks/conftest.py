@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each ``bench_*`` module regenerates one paper artifact (table or figure)
+under pytest-benchmark and prints the paper-versus-measured rows.  All
+benches share one full-protocol study whose cache mirrors the paper's
+single physical dataset: the first artifact to need a configuration pays
+for its measurement, later ones reuse it.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.study import Study  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def study() -> Study:
+    """Full paper-protocol study shared across every bench."""
+    return Study(invocation_scale=1.0)

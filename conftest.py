@@ -1,0 +1,14 @@
+"""Repo-level pytest configuration.
+
+Makes ``src/`` importable even when the package is not installed (the
+offline environment lacks the ``wheel`` package PEP-517 editable installs
+need; ``python setup.py develop`` works, but this shim keeps ``pytest``
+self-sufficient either way).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,61 @@
+"""Model your own application across the study's machines.
+
+Uses the synthetic-workload builder to describe an application by
+high-level traits (memory-boundness, branchiness, parallelism, managed
+or native) and then runs the paper's methodology on it: measured time
+and power on every stock machine, plus the energy-optimal 45 nm
+configuration for it.
+
+Run:  python examples/custom_workload.py
+"""
+
+from repro import Study, node_45nm_configurations, stock
+from repro.core.pareto import TradeoffPoint, pareto_efficient
+from repro.hardware.catalog import PROCESSORS
+from repro.workloads.synthetic import synthetic
+
+# Describe the application: a managed, fairly memory-bound service that
+# scales well but not perfectly, with a working set that misses caches.
+APP = synthetic(
+    "order-matching-service",
+    boundness=0.6,
+    branchiness=0.5,
+    parallelism=0.88,
+    managed=True,
+    service_fraction=0.10,
+    reference_seconds=12.0,
+)
+
+
+def main() -> None:
+    study = Study(invocation_scale=0.25)
+
+    print(f"workload: {APP.name} ({APP.group.value})")
+    print(f"  ilp={APP.character.ilp:.2f}  mpki={APP.character.memory_mpki:.1f}"
+          f"  parallel={APP.character.parallel_fraction:.2f}\n")
+
+    print(f"{'machine':16s} {'time':>8s} {'power':>8s} {'energy':>9s}")
+    for spec in PROCESSORS:
+        result = study.measure(APP, stock(spec))
+        print(f"{spec.label:16s} {result.seconds:7.2f}s {result.watts:7.1f}W "
+              f"{result.energy_joules:8.1f}J")
+
+    points = []
+    for config in node_45nm_configurations():
+        result = study.measure(APP, config)
+        points.append(
+            TradeoffPoint(
+                key=config.key,
+                performance=result.speedup,
+                energy=result.normalized_energy,
+            )
+        )
+    frontier = pareto_efficient(points)
+    print("\nPareto-efficient 45 nm configurations for this workload:")
+    for point in frontier:
+        print(f"  {point.key:26s} perf {point.performance:5.2f}  "
+              f"energy {point.energy:5.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Pareto-efficient design selection for a custom workload mix.
+
+A downstream use of the library beyond the paper's own tables: you run a
+server fleet whose load is mostly scalable Java (transaction processing
+and search) with some single-threaded Java tooling.  Which 45 nm
+processor configuration should you buy, and at which operating point?
+
+Sweeps the study's 29-configuration 45 nm space for a *custom-weighted*
+workload mix and reports the Pareto frontier of aggregate performance
+versus normalised energy.
+
+Run:  python examples/design_space_pareto.py
+"""
+
+from repro import Study, node_45nm_configurations
+from repro.core.pareto import TradeoffPoint, fit_frontier, pareto_efficient
+from repro.core.statistics import mean
+from repro.workloads.catalog import benchmark
+
+#: The fleet's mix: benchmark name -> weight in the aggregate.
+WORKLOAD_MIX = {
+    "pjbb2005": 0.30,   # transaction processing
+    "lusearch": 0.25,   # text search
+    "tomcat": 0.25,     # servlet serving
+    "xalan": 0.10,      # XML transformation
+    "luindex": 0.05,    # indexing (single-threaded)
+    "javac": 0.05,      # build tooling (single-threaded)
+}
+
+
+def main() -> None:
+    study = Study(invocation_scale=0.25)
+    benchmarks = [benchmark(name) for name in WORKLOAD_MIX]
+
+    points = []
+    for config in node_45nm_configurations():
+        results = study.run(
+            (config,), benchmarks
+        )
+        speed = results.values("speedup")
+        energy = results.values("normalized_energy")
+        performance = sum(
+            WORKLOAD_MIX[name] * speed[name] for name in WORKLOAD_MIX
+        )
+        joules = sum(
+            WORKLOAD_MIX[name] * energy[name] for name in WORKLOAD_MIX
+        )
+        points.append(
+            TradeoffPoint(key=config.key, performance=performance, energy=joules)
+        )
+
+    frontier = pareto_efficient(points)
+    curve = fit_frontier(frontier)
+
+    print("Pareto-efficient 45 nm configurations for the fleet mix")
+    print("=" * 62)
+    print(f"{'configuration':28s} {'performance':>12s} {'norm.energy':>12s}")
+    for point in frontier:
+        print(f"{point.key:28s} {point.performance:12.2f} {point.energy:12.3f}")
+
+    dominated = len(points) - len(frontier)
+    print(f"\n{dominated} of {len(points)} configurations are dominated.")
+    mean_perf = mean([p.performance for p in frontier])
+    print(
+        f"frontier spans performance {curve.performance_range[0]:.2f}.."
+        f"{curve.performance_range[1]:.2f} (mean {mean_perf:.2f}); "
+        "pick the knee that meets your latency target."
+    )
+
+
+if __name__ == "__main__":
+    main()

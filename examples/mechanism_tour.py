@@ -1,0 +1,64 @@
+"""A guided tour of the mechanisms behind the paper's findings.
+
+Uses the analysis layer to *show* why the headline results happen:
+CPI stacks explain the microarchitecture gaps, power attribution explains
+the workload power gaps, and the event counters explain the JVM-induced
+speedup of single-threaded Java.
+
+Run:  python examples/mechanism_tour.py
+"""
+
+from repro import Configuration, Study, benchmark, processor, stock
+from repro.analysis.cpi_stacks import across_machines, render as render_cpi
+from repro.analysis.power_attribution import attribute, render as render_power
+from repro.hardware.catalog import PROCESSORS
+
+
+def main() -> None:
+    study = Study(invocation_scale=0.25)
+    engine = study.engine
+    i7 = processor("i7_45")
+
+    print("1. Why is the i7 ~2.6x faster than the Pentium 4 per clock? (§3.5)")
+    print("   CPI stacks for sjeng (branchy AI search):\n")
+    print(render_cpi(across_machines(benchmark("sjeng"), PROCESSORS[:4])))
+    print(
+        "\n   NetBurst pays for its deep pipeline in branch refills and its"
+        "\n   narrow effective issue; Nehalem overlaps most of the misses.\n"
+    )
+
+    print("2. Why does SPEC CPU draw so little power on the i7? (Finding W3)")
+    print("   Power attribution, one SPEC code vs one PARSEC code:\n")
+    attributions = {
+        "omnetpp (1 thread)": attribute(engine.ideal(benchmark("omnetpp"), stock(i7))),
+        "fluidanimate (8 threads)": attribute(
+            engine.ideal(benchmark("fluidanimate"), stock(i7))
+        ),
+    }
+    print(render_power(attributions))
+    print(
+        "\n   A single memory-bound thread leaves three cores idle and the"
+        "\n   busy one half-stalled; the scalable code lights up everything.\n"
+    )
+
+    print("3. Why does single-threaded Java speed up on two cores? (Finding W1)")
+    one = Configuration(i7, 1, 1, 2.66)
+    two = Configuration(i7, 2, 1, 2.66)
+    db = benchmark("db")
+    ex_one = engine.ideal(db, one)
+    ex_two = engine.ideal(db, two)
+    print(f"   db on 1 core: {ex_one.seconds.value:6.2f}s, "
+          f"DTLB misses {ex_one.events.dtlb_mpki:5.1f}/ki")
+    print(f"   db on 2 cores: {ex_two.seconds.value:6.2f}s, "
+          f"DTLB misses {ex_two.events.dtlb_mpki:5.1f}/ki")
+    speedup = ex_one.seconds.value / ex_two.seconds.value
+    reduction = ex_one.events.dtlb_misses / ex_two.events.dtlb_misses
+    print(
+        f"   -> {speedup:.2f}x faster: the collector moves to the second "
+        f"core, and its\n      displacement of the application's TLB state "
+        f"ends ({reduction:.1f}x fewer misses,\n      paper: 2.5x)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: measure a benchmark the way the paper does.
+
+Runs the DaCapo `xalan` benchmark on three generations of hardware —
+the 2003 Pentium 4, the 2008 Core i7, and the 2010 Core i5 — through the
+full measurement pipeline: execution engine, isolated 12 V rail,
+calibrated Hall-effect sensor, 50 Hz logger, and the paper's
+20-invocation Java protocol.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Study, benchmark, processor, stock
+
+
+def main() -> None:
+    study = Study()  # full paper protocol
+    xalan = benchmark("xalan")
+    print(f"benchmark: {xalan.name} — {xalan.description}")
+    print(f"group:     {xalan.group.value}")
+    print(f"reference: {xalan.reference_seconds:.1f} s (Table 1)\n")
+
+    header = (
+        f"{'processor':16s} {'time':>9s} {'power':>8s} {'energy':>9s} "
+        f"{'speedup':>8s} {'norm.energy':>12s}"
+    )
+    print(header)
+    print("-" * len(header))
+    for key in ("pentium4_130", "i7_45", "i5_32"):
+        spec = processor(key)
+        result = study.measure(xalan, stock(spec))
+        print(
+            f"{spec.label:16s} {result.seconds:8.2f}s {result.watts:7.1f}W "
+            f"{result.energy_joules:8.1f}J {result.speedup:8.2f} "
+            f"{result.normalized_energy:12.3f}"
+        )
+
+    print(
+        "\nspeedup is relative to the four-machine reference of §2.6; "
+        "normalised energy relative to the reference energy."
+    )
+    print(
+        "Each row is the mean of 20 JVM invocations (fifth-iteration "
+        "steady state), power measured through a calibrated ACS714 "
+        "sensor at 50 Hz."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""Regenerate every paper artifact and export the dataset.
+
+Runs all seventeen experiments (Tables 1-5, Figures 1-12) with the
+paper's full measurement protocol, prints each as a text table, evaluates
+the thirteen findings, and writes the per-run dataset for the eight stock
+machines as CSV — the shape of the paper's ACM DL companion data.
+
+Run:  python examples/regenerate_paper.py [output-dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro import Study, stock_configurations
+from repro.experiments.findings import evaluate_all
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.reporting.tables import render_experiment
+
+
+def main() -> None:
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else Path("out")
+    out.mkdir(parents=True, exist_ok=True)
+    study = Study()
+
+    report_lines = []
+    for experiment_id in EXPERIMENTS:
+        result = run_experiment(experiment_id, study)
+        block = render_experiment(result)
+        print(block)
+        print()
+        report_lines.append(block)
+
+    findings = evaluate_all(study)
+    print("== Findings ==")
+    report_lines.append("== Findings ==")
+    for finding in findings:
+        line = (
+            f"{finding.finding_id:3s} "
+            f"{'HOLDS' if finding.holds else 'FAILS'}: {finding.statement}"
+        )
+        print(line)
+        report_lines.append(line)
+
+    (out / "report.txt").write_text("\n\n".join(report_lines) + "\n")
+
+    dataset = study.run(stock_configurations())
+    csv_path = dataset.to_csv(out / "stock_dataset.csv")
+    print(f"\nwrote {csv_path} ({len(dataset)} rows) and {out / 'report.txt'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a reproduction of "Looking Back on the Language and Hardware
+Revolutions: Measured Power, Performance, and Scaling" (ASPLOS 2011).
+
+The library layers as the physical study did:
+
+* :mod:`repro.hardware` — the eight Intel processors (Table 3), their
+  structural models, and the 45-point BIOS configuration space;
+* :mod:`repro.workloads` — the 61 benchmarks of Table 1 in four
+  equally-weighted groups;
+* :mod:`repro.runtime` / :mod:`repro.native` — the managed-runtime and
+  ahead-of-time toolchain substrates;
+* :mod:`repro.execution` — the engine that runs a benchmark on a
+  configuration, producing ground-truth time, power phases, and counters;
+* :mod:`repro.measurement` — the Hall-effect sensor pipeline (calibration,
+  50 Hz logging) through which all power is observed;
+* :mod:`repro.core` — the paper's methodology: normalisation, group
+  aggregation, confidence intervals, the study harness, Pareto analysis;
+* :mod:`repro.experiments` — one module per paper table/figure plus the
+  thirteen findings as executable checks.
+
+Quick start::
+
+    from repro import Study, stock, processor
+
+    study = Study(invocation_scale=0.2)          # quick protocol
+    results = study.run_config(stock(processor("i7_45")))
+    print(results.values("watts"))
+"""
+
+from repro.core.normalization import References
+from repro.core.results import ResultSet, RunResult
+from repro.core.study import Study, shared_study
+from repro.execution.engine import Execution, ExecutionEngine, default_engine
+from repro.hardware.catalog import PROCESSORS, processor
+from repro.hardware.config import Configuration, stock
+from repro.hardware.configurations import (
+    all_configurations,
+    node_45nm_configurations,
+    stock_configurations,
+)
+from repro.measurement.meter import PowerMeter, meter_for
+from repro.workloads.benchmark import Benchmark, Group
+from repro.workloads.catalog import BENCHMARKS, benchmark, by_group
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BENCHMARKS",
+    "Benchmark",
+    "Configuration",
+    "Execution",
+    "ExecutionEngine",
+    "Group",
+    "PROCESSORS",
+    "PowerMeter",
+    "References",
+    "ResultSet",
+    "RunResult",
+    "Study",
+    "all_configurations",
+    "benchmark",
+    "by_group",
+    "default_engine",
+    "meter_for",
+    "node_45nm_configurations",
+    "processor",
+    "shared_study",
+    "stock",
+    "stock_configurations",
+    "__version__",
+]

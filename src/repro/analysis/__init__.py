@@ -1,0 +1,22 @@
+"""Analysis drill-downs behind the paper's numbers.
+
+* :mod:`repro.analysis.cpi_stacks` — cycles-per-instruction decomposition
+  per (benchmark, machine);
+* :mod:`repro.analysis.power_attribution` — per-structure power split,
+  the view the paper asks manufacturers to expose;
+* :mod:`repro.analysis.tdp_regression` — how loosely TDP tracks power.
+"""
+
+from repro.analysis.cpi_stacks import CpiStack, across_machines, stack_for
+from repro.analysis.power_attribution import PowerAttribution, attribute
+from repro.analysis.tdp_regression import TdpRegression, regress
+
+__all__ = [
+    "CpiStack",
+    "PowerAttribution",
+    "TdpRegression",
+    "across_machines",
+    "attribute",
+    "regress",
+    "stack_for",
+]

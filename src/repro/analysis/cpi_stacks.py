@@ -1,0 +1,74 @@
+"""CPI stacks: where each machine spends its cycles on each benchmark.
+
+The classic architecture-analysis view behind the paper's performance
+numbers: a thread's CPI decomposed into issue (base), in-order dependency
+stalls, branch recovery, and exposed memory latency.  Explains, for
+example, *why* the Pentium 4 is 2.6x slower than the i7 clock-for-clock
+(§3.5) — its base CPI and branch refills dominate — and why mcf looks
+identical on every machine (memory stalls swamp the core).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.execution.cpi import CpiBreakdown, thread_cpi
+from repro.hardware.config import Configuration, stock
+from repro.hardware.processor import ProcessorSpec
+from repro.native.binary import binary_for
+from repro.native.compiler import Toolchain
+from repro.reporting.bars import StackSegment, stacked_bars
+from repro.workloads.benchmark import Benchmark
+
+
+@dataclass(frozen=True)
+class CpiStack:
+    """One (benchmark, machine) CPI decomposition."""
+
+    benchmark: str
+    processor: str
+    breakdown: CpiBreakdown
+
+    @property
+    def segments(self) -> tuple[StackSegment, ...]:
+        b = self.breakdown
+        return (
+            StackSegment("issue", b.base, "="),
+            StackSegment("dependency", b.dependency, "d"),
+            StackSegment("branch", b.branch, "b"),
+            StackSegment("memory", b.memory, "m"),
+        )
+
+
+def stack_for(
+    benchmark: Benchmark,
+    config: Configuration,
+) -> CpiStack:
+    """Single-thread CPI stack for a benchmark on a configuration."""
+    toolchain = (
+        Toolchain.JIT if benchmark.managed else binary_for(benchmark).toolchain
+    )
+    breakdown = thread_cpi(
+        benchmark.character, config, toolchain, config.clock
+    )
+    return CpiStack(
+        benchmark=benchmark.name,
+        processor=config.spec.label,
+        breakdown=breakdown,
+    )
+
+
+def across_machines(
+    benchmark: Benchmark, specs: Sequence[ProcessorSpec]
+) -> list[CpiStack]:
+    """One benchmark's CPI stack on each machine (stock configuration)."""
+    return [stack_for(benchmark, stock(spec)) for spec in specs]
+
+
+def render(stacks: Sequence[CpiStack], width: int = 46) -> str:
+    """Stacked-bar rendering, one row per stack."""
+    rows = {
+        f"{s.processor} / {s.benchmark}": s.segments for s in stacks
+    }
+    return stacked_bars(rows, width=width)

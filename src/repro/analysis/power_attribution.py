@@ -1,0 +1,78 @@
+"""Power attribution: which structure burns the watts.
+
+The paper's closing recommendation is structure-specific power meters
+"for cores, caches, and other structures".  The model, of course, *has*
+that visibility: this module attributes a run's average package power to
+uncore, idle-core, and active-core components (time-weighted over
+phases, including the Turbo multiplier), which is exactly the view the
+authors ask manufacturers to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.engine import Execution
+from repro.hardware.power import package_power
+from repro.reporting.bars import StackSegment, stacked_bars
+
+
+@dataclass(frozen=True)
+class PowerAttribution:
+    """Average package power split by structure (watts)."""
+
+    uncore: float
+    core_idle: float
+    core_active: float
+
+    @property
+    def total(self) -> float:
+        return self.uncore + self.core_idle + self.core_active
+
+    def share(self, component: str) -> float:
+        value = getattr(self, component)
+        return value / self.total if self.total else 0.0
+
+    @property
+    def segments(self) -> tuple[StackSegment, ...]:
+        return (
+            StackSegment("uncore", self.uncore, "u"),
+            StackSegment("idle cores", self.core_idle, "i"),
+            StackSegment("active cores", self.core_active, "a"),
+        )
+
+
+def attribute(execution: Execution) -> PowerAttribution:
+    """Time-weighted structure attribution of one run's power.
+
+    The Turbo multiplier is folded proportionally into each component, so
+    the parts sum to the execution's average power.
+    """
+    total_seconds = execution.seconds.value
+    uncore = idle = active = 0.0
+    for phase in execution.phases:
+        breakdown = package_power(
+            execution.config,
+            busy_cores=min(phase.busy_cores, execution.config.active_cores),
+            core_utilisation=phase.utilisation,
+            activity=execution.benchmark.character.activity,
+            turbo=phase.turbo,
+        )
+        # The reconstruction's *shares* are exact; rescale to the phase's
+        # recorded power so per-run effects folded into the active
+        # component (SMT overhead, run-to-run activity) are carried too.
+        reconstructed = breakdown.total.value
+        scale = phase.power.value / reconstructed if reconstructed else 0.0
+        weight = phase.seconds / total_seconds
+        boost = breakdown.turbo_multiplier * scale
+        uncore += breakdown.uncore.value * boost * weight
+        idle += breakdown.core_idle.value * boost * weight
+        active += breakdown.core_active.value * boost * weight
+    return PowerAttribution(uncore=uncore, core_idle=idle, core_active=active)
+
+
+def render(attributions: dict[str, PowerAttribution], width: int = 46) -> str:
+    """Stacked-bar rendering, one row per labelled attribution."""
+    return stacked_bars(
+        {label: a.segments for label, a in attributions.items()}, width=width
+    )

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list processors|benchmarks|configurations|experiments`` — catalog views;
+* ``measure <benchmark> <processor> [--cores N --threads N --clock GHZ
+  --no-turbo --quick]`` — one measurement through the full pipeline;
+* ``experiment <id>`` — regenerate one paper artifact (``table1``..``fig12``);
+* ``findings`` — evaluate the thirteen findings;
+* ``dataset <out.csv> [--configs stock|45nm|all]`` — export the run dataset;
+* ``figure <fig2|fig3|fig7c|fig11|fig12>`` — draw a character figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.study import Study
+from repro.experiments.findings import evaluate_all
+from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
+from repro.hardware.catalog import PROCESSORS, processor
+from repro.hardware.config import stock
+from repro.hardware.configurations import (
+    all_configurations,
+    node_45nm_configurations,
+    stock_configurations,
+)
+from repro.reporting import figures
+from repro.reporting.tables import render_experiment, render_rows
+from repro.workloads.catalog import BENCHMARKS, benchmark
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Measured Power, Performance, and "
+        "Scaling' (ASPLOS 2011)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="run 20%% of the paper's repetition protocol",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = commands.add_parser("list", help="catalog views")
+    list_cmd.add_argument(
+        "what",
+        choices=("processors", "benchmarks", "configurations", "experiments"),
+    )
+
+    measure = commands.add_parser("measure", help="measure one benchmark")
+    measure.add_argument("benchmark")
+    measure.add_argument("processor")
+    measure.add_argument("--cores", type=int, default=None)
+    measure.add_argument("--threads", type=int, default=None)
+    measure.add_argument("--clock", type=float, default=None)
+    measure.add_argument("--no-turbo", action="store_true")
+
+    experiment = commands.add_parser("experiment", help="regenerate an artifact")
+    experiment.add_argument(
+        "experiment_id", choices=sorted(EXPERIMENTS) + sorted(EXTENSIONS)
+    )
+
+    commands.add_parser("findings", help="evaluate the thirteen findings")
+
+    dataset = commands.add_parser("dataset", help="export the run dataset")
+    dataset.add_argument("output")
+    dataset.add_argument(
+        "--configs", choices=("stock", "45nm", "all"), default="stock"
+    )
+
+    figure = commands.add_parser("figure", help="draw a character figure")
+    figure.add_argument(
+        "figure_id", choices=("fig2", "fig3", "fig7c", "fig11", "fig12")
+    )
+    return parser
+
+
+def _list(what: str) -> str:
+    if what == "processors":
+        rows = [
+            {
+                "key": spec.key,
+                "label": spec.label,
+                "uarch": spec.family.name,
+                "config": spec.cmp_smt,
+                "clock_ghz": spec.stock_clock.ghz,
+                "node_nm": spec.node.nanometers,
+                "tdp_w": spec.tdp_w,
+            }
+            for spec in PROCESSORS
+        ]
+    elif what == "benchmarks":
+        rows = [
+            {
+                "name": b.name,
+                "suite": b.suite.value,
+                "group": b.group.value,
+                "reference_s": b.reference_seconds,
+            }
+            for b in BENCHMARKS
+        ]
+    elif what == "configurations":
+        rows = [{"key": c.key, "label": c.label} for c in all_configurations()]
+    else:
+        rows = [{"id": eid, "kind": "paper artifact"} for eid in EXPERIMENTS]
+        rows += [{"id": eid, "kind": "extension"} for eid in EXTENSIONS]
+    return render_rows(rows)
+
+
+def _measure(args: argparse.Namespace, study: Study) -> str:
+    bench = benchmark(args.benchmark)
+    spec = processor(args.processor)
+    config = stock(spec)
+    if args.cores is not None:
+        config = config.with_cores(args.cores)
+    if args.threads is not None:
+        config = (
+            config.without_smt() if args.threads == 1 else config.with_smt()
+        )
+    if args.clock is not None:
+        config = config.at_clock(args.clock)
+    if args.no_turbo:
+        config = config.without_turbo()
+    result = study.measure(bench, config)
+    return render_rows([result.as_row()])
+
+
+def _findings(study: Study) -> str:
+    rows = [
+        {
+            "id": report.finding_id,
+            "holds": "yes" if report.holds else "NO",
+            "statement": report.statement,
+        }
+        for report in evaluate_all(study)
+    ]
+    return render_rows(rows, max_width=78)
+
+
+def _dataset(args: argparse.Namespace, study: Study) -> str:
+    configs = {
+        "stock": stock_configurations,
+        "45nm": node_45nm_configurations,
+        "all": all_configurations,
+    }[args.configs]()
+    results = study.run(configs)
+    path = results.to_csv(args.output)
+    return f"wrote {len(results)} rows to {path}"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    study = Study(invocation_scale=0.2 if args.quick else 1.0)
+
+    if args.command == "list":
+        print(_list(args.what))
+    elif args.command == "measure":
+        print(_measure(args, study))
+    elif args.command == "experiment":
+        print(render_experiment(run_experiment(args.experiment_id, study)))
+    elif args.command == "findings":
+        print(_findings(study))
+    elif args.command == "dataset":
+        print(_dataset(args, study))
+    elif args.command == "figure":
+        renderer = {
+            "fig2": figures.figure2,
+            "fig3": figures.figure3,
+            "fig7c": figures.figure7c,
+            "fig11": figures.figure11,
+            "fig12": figures.figure12,
+        }[args.figure_id]
+        print(renderer(study))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

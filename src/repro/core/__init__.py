@@ -1,0 +1,55 @@
+"""Core methodology: the paper's actual contribution.
+
+Reference normalisation (§2.6), group aggregation, confidence intervals
+(Table 2), the study harness, the result dataset, and the Pareto analysis
+(§4.2) — all substrate-independent: point :class:`~repro.core.study.Study`
+at a different engine/meter pair (e.g. real RAPL readings) and the
+methodology runs unchanged.
+"""
+
+from repro.core.aggregation import (
+    benchmark_average,
+    full_aggregate,
+    group_means,
+    per_group_ratio,
+    ratio_of_aggregates,
+    weighted_average,
+)
+from repro.core.normalization import References
+from repro.core.pareto import (
+    FrontierCurve,
+    TradeoffPoint,
+    fit_frontier,
+    pareto_efficient,
+)
+from repro.core.quantities import Hertz, Joules, Seconds, Watts, energy
+from repro.core.results import ResultSet, RunResult
+from repro.core.statistics import ConfidenceInterval, LinearFit, confidence_interval, linear_fit
+from repro.core.study import Study, shared_study
+
+__all__ = [
+    "ConfidenceInterval",
+    "FrontierCurve",
+    "Hertz",
+    "Joules",
+    "LinearFit",
+    "References",
+    "ResultSet",
+    "RunResult",
+    "Seconds",
+    "Study",
+    "TradeoffPoint",
+    "Watts",
+    "benchmark_average",
+    "confidence_interval",
+    "energy",
+    "fit_frontier",
+    "full_aggregate",
+    "group_means",
+    "linear_fit",
+    "pareto_efficient",
+    "per_group_ratio",
+    "ratio_of_aggregates",
+    "shared_study",
+    "weighted_average",
+]

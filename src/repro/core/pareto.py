@@ -1,0 +1,91 @@
+"""Pareto-efficiency analysis (§4.2).
+
+"The set of Pareto efficient choices is determined by plotting all choices
+on an energy / performance scatter graph, and then identifying those
+choices that are not dominated in performance or energy efficiency by any
+other choice."
+
+Points are (performance, normalised energy): higher performance is better,
+lower energy is better.  The frontier curve the paper draws through the
+efficient points (Fig. 12) is a least-squares polynomial in performance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class TradeoffPoint:
+    """One candidate design: a configuration's aggregate outcome."""
+
+    key: str
+    performance: float
+    energy: float
+
+    def __post_init__(self) -> None:
+        if self.performance <= 0 or self.energy <= 0:
+            raise ValueError("performance and energy must be positive")
+
+    def dominates(self, other: "TradeoffPoint") -> bool:
+        """True if this point is at least as good on both axes and
+        strictly better on one."""
+        at_least = (
+            self.performance >= other.performance and self.energy <= other.energy
+        )
+        strictly = (
+            self.performance > other.performance or self.energy < other.energy
+        )
+        return at_least and strictly
+
+
+def pareto_efficient(points: Sequence[TradeoffPoint]) -> tuple[TradeoffPoint, ...]:
+    """The non-dominated subset, ordered by increasing performance.
+
+    O(n^2) dominance scan — the study's configuration space is tens of
+    points, so clarity beats cleverness.
+    """
+    efficient = [
+        p
+        for p in points
+        if not any(q.dominates(p) for q in points if q is not p)
+    ]
+    return tuple(sorted(efficient, key=lambda p: p.performance))
+
+
+@dataclass(frozen=True, slots=True)
+class FrontierCurve:
+    """Polynomial energy-versus-performance frontier (Fig. 12's curves)."""
+
+    coefficients: tuple[float, ...]
+    performance_range: tuple[float, float]
+
+    def energy_at(self, performance: float) -> float:
+        return float(np.polyval(self.coefficients, performance))
+
+    def series(self, samples: int = 50) -> list[tuple[float, float]]:
+        """Evenly spaced (performance, energy) pairs along the frontier."""
+        if samples < 2:
+            raise ValueError("need at least two samples")
+        low, high = self.performance_range
+        xs = np.linspace(low, high, samples)
+        return [(float(x), self.energy_at(float(x))) for x in xs]
+
+
+def fit_frontier(
+    efficient: Sequence[TradeoffPoint], degree: int = 2
+) -> FrontierCurve:
+    """Fit the paper's polynomial curve through Pareto-efficient points."""
+    if len(efficient) < 2:
+        raise ValueError("need at least two efficient points to fit a curve")
+    degree = min(degree, len(efficient) - 1)
+    xs = [p.performance for p in efficient]
+    ys = [p.energy for p in efficient]
+    coefficients = np.polyfit(xs, ys, degree)
+    return FrontierCurve(
+        coefficients=tuple(float(c) for c in coefficients),
+        performance_range=(min(xs), max(xs)),
+    )

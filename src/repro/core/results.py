@@ -1,0 +1,176 @@
+"""Result records and datasets.
+
+The paper publishes its dataset as CSV in the ACM Digital Library; this
+module is that dataset's schema: one :class:`RunResult` per (benchmark,
+configuration), with measured time and power, confidence intervals, and
+the normalised metrics every analysis consumes, plus a queryable
+:class:`ResultSet` container with CSV export.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Mapping
+
+from repro.core.statistics import ConfidenceInterval
+from repro.workloads.benchmark import Benchmark, Group
+from repro.workloads.catalog import BENCHMARKS_BY_NAME
+
+CSV_COLUMNS = (
+    "benchmark",
+    "group",
+    "processor",
+    "configuration",
+    "seconds",
+    "watts",
+    "energy_joules",
+    "speedup",
+    "normalized_energy",
+    "time_ci_relative",
+    "power_ci_relative",
+    "invocations",
+)
+
+
+@dataclass(frozen=True, slots=True)
+class RunResult:
+    """Measured outcome of one benchmark on one configuration."""
+
+    benchmark_name: str
+    group: Group
+    processor_key: str
+    config_key: str
+    seconds: float
+    watts: float
+    speedup: float
+    normalized_energy: float
+    time_ci: ConfidenceInterval
+    power_ci: ConfidenceInterval
+    invocations: int
+
+    @property
+    def energy_joules(self) -> float:
+        return self.seconds * self.watts
+
+    @property
+    def benchmark(self) -> Benchmark:
+        return BENCHMARKS_BY_NAME[self.benchmark_name]
+
+    def metric(self, name: str) -> float:
+        """Access a numeric field by the names analyses use."""
+        if name in ("seconds", "watts", "speedup", "normalized_energy"):
+            return getattr(self, name)
+        if name == "energy_joules":
+            return self.energy_joules
+        raise KeyError(f"unknown metric {name!r}")
+
+    def as_row(self) -> dict[str, object]:
+        return {
+            "benchmark": self.benchmark_name,
+            "group": self.group.value,
+            "processor": self.processor_key,
+            "configuration": self.config_key,
+            "seconds": f"{self.seconds:.6g}",
+            "watts": f"{self.watts:.6g}",
+            "energy_joules": f"{self.energy_joules:.6g}",
+            "speedup": f"{self.speedup:.6g}",
+            "normalized_energy": f"{self.normalized_energy:.6g}",
+            "time_ci_relative": f"{self.time_ci.relative_error:.6g}",
+            "power_ci_relative": f"{self.power_ci.relative_error:.6g}",
+            "invocations": self.invocations,
+        }
+
+
+class ResultSet:
+    """An immutable queryable collection of :class:`RunResult`."""
+
+    def __init__(self, results: Iterable[RunResult]) -> None:
+        self._results = tuple(results)
+
+    def __iter__(self) -> Iterator[RunResult]:
+        return iter(self._results)
+
+    def __len__(self) -> int:
+        return len(self._results)
+
+    def __bool__(self) -> bool:
+        return bool(self._results)
+
+    # -- selection ------------------------------------------------------------
+
+    def where(self, predicate: Callable[[RunResult], bool]) -> "ResultSet":
+        return ResultSet(r for r in self._results if predicate(r))
+
+    def for_config(self, config_key: str) -> "ResultSet":
+        return self.where(lambda r: r.config_key == config_key)
+
+    def for_processor(self, processor_key: str) -> "ResultSet":
+        return self.where(lambda r: r.processor_key == processor_key)
+
+    def for_group(self, group: Group) -> "ResultSet":
+        return self.where(lambda r: r.group is group)
+
+    def for_benchmark(self, name: str) -> "ResultSet":
+        return self.where(lambda r: r.benchmark_name == name)
+
+    def single(self) -> RunResult:
+        """The only result, asserting there is exactly one."""
+        if len(self._results) != 1:
+            raise ValueError(f"expected exactly one result, got {len(self._results)}")
+        return self._results[0]
+
+    # -- projection -----------------------------------------------------------
+
+    def values(self, metric: str) -> dict[str, float]:
+        """``benchmark name -> metric`` for this (usually filtered) set.
+
+        Raises if a benchmark appears twice — callers must narrow to one
+        configuration per benchmark before projecting.
+        """
+        projected: dict[str, float] = {}
+        for result in self._results:
+            if result.benchmark_name in projected:
+                raise ValueError(
+                    f"{result.benchmark_name} appears more than once; filter "
+                    "to a single configuration before projecting values"
+                )
+            projected[result.benchmark_name] = result.metric(metric)
+        return projected
+
+    def benchmarks(self) -> tuple[Benchmark, ...]:
+        seen: dict[str, Benchmark] = {}
+        for result in self._results:
+            seen.setdefault(result.benchmark_name, result.benchmark)
+        return tuple(seen.values())
+
+    def config_keys(self) -> tuple[str, ...]:
+        ordered: dict[str, None] = {}
+        for result in self._results:
+            ordered.setdefault(result.config_key)
+        return tuple(ordered)
+
+    # -- combination ----------------------------------------------------------
+
+    def merged_with(self, other: "ResultSet") -> "ResultSet":
+        return ResultSet((*self._results, *other._results))
+
+    # -- export ----------------------------------------------------------------
+
+    def to_csv(self, path: Path | str) -> Path:
+        """Write the dataset in the companion-CSV shape."""
+        path = Path(path)
+        with path.open("w", newline="") as handle:
+            writer = csv.DictWriter(handle, fieldnames=CSV_COLUMNS)
+            writer.writeheader()
+            for result in self._results:
+                writer.writerow(result.as_row())
+        return path
+
+
+def from_csv(path: Path | str) -> list[Mapping[str, str]]:
+    """Read back an exported dataset as raw string records."""
+    path = Path(path)
+    with path.open(newline="") as handle:
+        return list(csv.DictReader(handle))

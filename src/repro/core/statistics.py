@@ -1,0 +1,148 @@
+"""Statistics used by the paper's methodology (§2.1, §2.5, §2.6).
+
+The paper reports arithmetic means over repeated executions, 95 % confidence
+intervals on time and power (Table 2), and least-squares linear fits with an
+R² quality criterion for sensor calibration (§2.5).  This module implements
+those primitives on plain sequences of floats so every substrate can share
+them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import stats as _scipy_stats
+
+
+def mean(samples: Sequence[float]) -> float:
+    """Arithmetic mean; raises on an empty sample set."""
+    if len(samples) == 0:
+        raise ValueError("mean of empty sample set")
+    return float(np.mean(np.asarray(samples, dtype=float)))
+
+
+def sample_std(samples: Sequence[float]) -> float:
+    """Unbiased (n-1) sample standard deviation; zero for a single sample."""
+    if len(samples) == 0:
+        raise ValueError("std of empty sample set")
+    if len(samples) == 1:
+        return 0.0
+    return float(np.std(np.asarray(samples, dtype=float), ddof=1))
+
+
+@dataclass(frozen=True, slots=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval around a sample mean."""
+
+    mean: float
+    half_width: float
+    confidence: float
+    n: int
+
+    @property
+    def lower(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        return self.mean + self.half_width
+
+    @property
+    def relative_error(self) -> float:
+        """Half-width as a fraction of the mean — the quantity in Table 2."""
+        if self.mean == 0.0:
+            return 0.0
+        return abs(self.half_width / self.mean)
+
+    def contains(self, value: float) -> bool:
+        return self.lower <= value <= self.upper
+
+
+def confidence_interval(
+    samples: Sequence[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """Student-t confidence interval for the mean of ``samples``.
+
+    The paper reports 95 % intervals aggregated over benchmarks and
+    configurations (Table 2).  With a single sample the half-width is zero by
+    convention (no dispersion information).
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1): {confidence}")
+    n = len(samples)
+    centre = mean(samples)
+    if n == 1:
+        return ConfidenceInterval(mean=centre, half_width=0.0, confidence=confidence, n=1)
+    std_err = sample_std(samples) / math.sqrt(n)
+    t_crit = float(_scipy_stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return ConfidenceInterval(
+        mean=centre, half_width=t_crit * std_err, confidence=confidence, n=n
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LinearFit:
+    """A least-squares line ``y = slope * x + intercept`` with fit quality."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.slope * x + self.intercept
+
+    def invert(self, y: float) -> float:
+        """Solve ``y = slope * x + intercept`` for ``x``.
+
+        Used by sensor calibration to map logged codes back to current.
+        """
+        if abs(self.slope) < 1e-12:
+            raise ValueError("cannot invert a flat fit")
+        return (y - self.intercept) / self.slope
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Least-squares linear fit, as used for sensor calibration (§2.5).
+
+    The paper records 28 reference currents and their sensor codes, fits a
+    line per sensor, and requires R² of 0.999 or better.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("x and y sample counts differ")
+    if len(xs) < 2:
+        raise ValueError("need at least two points for a linear fit")
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = slope * x + intercept
+    ss_res = float(np.sum((y - predicted) ** 2))
+    ss_tot = float(np.sum((y - np.mean(y)) ** 2))
+    r_squared = 1.0 if ss_tot == 0.0 else 1.0 - ss_res / ss_tot
+    return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
+
+
+def geometric_mean(samples: Sequence[float]) -> float:
+    """Geometric mean of strictly positive samples.
+
+    Not used for the paper's headline aggregates (which are arithmetic over
+    normalised scores) but provided for sensitivity analyses.
+    """
+    if len(samples) == 0:
+        raise ValueError("geometric mean of empty sample set")
+    arr = np.asarray(samples, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError("geometric mean requires positive samples")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def relative_range(samples: Sequence[float]) -> float:
+    """(max - min) / min — e.g. the ~30 % min-to-max power spread on Atom."""
+    if len(samples) == 0:
+        raise ValueError("relative range of empty sample set")
+    low = min(samples)
+    if low <= 0.0:
+        raise ValueError("relative range requires positive samples")
+    return (max(samples) - low) / low

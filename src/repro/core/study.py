@@ -1,0 +1,147 @@
+"""Campaign orchestration: running the paper's measurement study.
+
+A :class:`Study` binds the execution engine, the per-machine power meters,
+and the normalisation references, and runs benchmarks over configurations
+following the paper's measurement protocol (3/5 executions for native,
+20 JVM invocations reporting the fifth iteration for Java), producing a
+:class:`~repro.core.results.ResultSet`.
+
+Results are cached per (benchmark, configuration), so experiments that
+share configurations (most of §3's feature analyses share the stock
+settings) pay for each measurement once.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Sequence
+
+from repro.core.normalization import References
+from repro.core.results import ResultSet, RunResult
+from repro.core.statistics import confidence_interval
+from repro.execution.engine import ExecutionEngine
+from repro.hardware.config import Configuration
+from repro.measurement.meter import meter_for
+from repro.runtime.methodology import protocol_for
+from repro.workloads.benchmark import Benchmark
+from repro.workloads.catalog import BENCHMARKS
+
+
+class Study:
+    """The measurement campaign harness.
+
+    ``invocation_scale`` proportionally reduces the protocol's repetition
+    counts (floored at one) for quick exploratory sweeps; the default of
+    1.0 is the paper's full protocol.
+    """
+
+    def __init__(
+        self,
+        engine: Optional[ExecutionEngine] = None,
+        references: Optional[References] = None,
+        invocation_scale: float = 1.0,
+        benchmarks: Sequence[Benchmark] = BENCHMARKS,
+    ) -> None:
+        if invocation_scale <= 0:
+            raise ValueError("invocation scale must be positive")
+        self._references = references or References(engine)
+        self._engine = self._references.engine
+        self._scale = invocation_scale
+        self._benchmarks = tuple(benchmarks)
+        self._cache: dict[tuple[str, str], RunResult] = {}
+
+    @property
+    def engine(self) -> ExecutionEngine:
+        return self._engine
+
+    @property
+    def references(self) -> References:
+        return self._references
+
+    @property
+    def benchmarks(self) -> tuple[Benchmark, ...]:
+        return self._benchmarks
+
+    # -- measurement ----------------------------------------------------------
+
+    def measure(self, benchmark: Benchmark, config: Configuration) -> RunResult:
+        """Measure one benchmark on one configuration (cached)."""
+        cache_key = (benchmark.name, config.key)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+
+        protocol = protocol_for(benchmark)
+        invocations = max(1, math.ceil(protocol.invocations * self._scale))
+        meter = meter_for(config.spec)
+
+        times: list[float] = []
+        powers: list[float] = []
+        for invocation in range(invocations):
+            execution = self._engine.execute(
+                benchmark, config,
+                invocation=invocation,
+                iteration=protocol.iteration,
+            )
+            measurement = meter.measure(
+                execution,
+                run_salt=f"{config.key}/{benchmark.name}/{invocation}",
+            )
+            times.append(execution.seconds.value)
+            powers.append(measurement.average_watts)
+
+        time_ci = confidence_interval(times)
+        power_ci = confidence_interval(powers)
+        seconds = time_ci.mean
+        watts = power_ci.mean
+        result = RunResult(
+            benchmark_name=benchmark.name,
+            group=benchmark.group,
+            processor_key=config.spec.key,
+            config_key=config.key,
+            seconds=seconds,
+            watts=watts,
+            speedup=self._references.speedup(benchmark, seconds),
+            normalized_energy=self._references.normalized_energy(
+                benchmark, seconds * watts
+            ),
+            time_ci=time_ci,
+            power_ci=power_ci,
+            invocations=invocations,
+        )
+        self._cache[cache_key] = result
+        return result
+
+    def run(
+        self,
+        configurations: Iterable[Configuration],
+        benchmarks: Optional[Sequence[Benchmark]] = None,
+    ) -> ResultSet:
+        """Measure every benchmark on every configuration."""
+        chosen = tuple(benchmarks) if benchmarks is not None else self._benchmarks
+        results = [
+            self.measure(benchmark, config)
+            for config in configurations
+            for benchmark in chosen
+        ]
+        return ResultSet(results)
+
+    def run_config(
+        self,
+        configuration: Configuration,
+        benchmarks: Optional[Sequence[Benchmark]] = None,
+    ) -> ResultSet:
+        """Measure one configuration across benchmarks."""
+        return self.run((configuration,), benchmarks)
+
+
+_SHARED_STUDY: Optional[Study] = None
+
+
+def shared_study() -> Study:
+    """A process-wide full-protocol study (shared cache across
+    experiments, exactly like the paper's single physical dataset)."""
+    global _SHARED_STUDY
+    if _SHARED_STUDY is None:
+        _SHARED_STUDY = Study()
+    return _SHARED_STUDY

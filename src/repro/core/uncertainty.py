@@ -1,0 +1,89 @@
+"""Uncertainty propagation for derived quantities.
+
+The study measures time and power with their own confidence intervals
+(Table 2); derived quantities — energy, speedup ratios, energy ratios —
+inherit uncertainty from both.  This module provides first-order (delta
+method) propagation for the products and quotients the analyses use, so
+a result's error bars survive arithmetic instead of being dropped.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.results import RunResult
+from repro.core.statistics import ConfidenceInterval
+
+
+def product_interval(
+    a: ConfidenceInterval, b: ConfidenceInterval
+) -> ConfidenceInterval:
+    """CI of ``a x b`` for independent measurements (delta method).
+
+    Relative variances add: ``(dz/z)^2 = (da/a)^2 + (db/b)^2``, valid for
+    the few-percent errors this study deals in.
+    """
+    _require_compatible(a, b)
+    mean = a.mean * b.mean
+    relative = math.hypot(a.relative_error, b.relative_error)
+    return ConfidenceInterval(
+        mean=mean,
+        half_width=abs(mean) * relative,
+        confidence=a.confidence,
+        n=min(a.n, b.n),
+    )
+
+
+def quotient_interval(
+    numerator: ConfidenceInterval, denominator: ConfidenceInterval
+) -> ConfidenceInterval:
+    """CI of ``numerator / denominator`` for independent measurements."""
+    _require_compatible(numerator, denominator)
+    if denominator.mean == 0.0:
+        raise ValueError("cannot divide by a zero-mean measurement")
+    mean = numerator.mean / denominator.mean
+    relative = math.hypot(
+        numerator.relative_error, denominator.relative_error
+    )
+    return ConfidenceInterval(
+        mean=mean,
+        half_width=abs(mean) * relative,
+        confidence=numerator.confidence,
+        n=min(numerator.n, denominator.n),
+    )
+
+
+def energy_interval(result: RunResult) -> ConfidenceInterval:
+    """Energy CI of one run: time CI x power CI.
+
+    Time and power are measured on the same runs so they are not strictly
+    independent, but their noise sources differ (OS jitter versus sensor/
+    activity noise), making the independent-product bound the standard
+    conservative choice.
+    """
+    return product_interval(result.time_ci, result.power_ci)
+
+
+def ratio_interval(numerator: RunResult, denominator: RunResult, metric: str) -> ConfidenceInterval:
+    """CI of a feature-experiment ratio between two measured runs.
+
+    ``metric`` selects which per-run interval to ratio: ``"seconds"``,
+    ``"watts"``, or ``"energy_joules"``.
+    """
+    pick = {
+        "seconds": lambda r: r.time_ci,
+        "watts": lambda r: r.power_ci,
+        "energy_joules": energy_interval,
+    }
+    try:
+        chooser = pick[metric]
+    except KeyError:
+        raise KeyError(f"unknown metric {metric!r}; choose from {sorted(pick)}") from None
+    return quotient_interval(chooser(numerator), chooser(denominator))
+
+
+def _require_compatible(a: ConfidenceInterval, b: ConfidenceInterval) -> None:
+    if a.confidence != b.confidence:
+        raise ValueError(
+            "cannot combine intervals at different confidence levels"
+        )

@@ -1,0 +1,24 @@
+"""Execution substrate: the simulated testbed.
+
+:class:`~repro.execution.engine.ExecutionEngine` turns (benchmark,
+configuration) pairs into ground-truth executions; the measurement
+substrate observes them through the sensor pipeline.
+"""
+
+from repro.execution.cpi import CpiBreakdown, thread_cpi
+from repro.execution.engine import Execution, ExecutionEngine, Phase, default_engine
+from repro.execution.scaling import Placement, place_threads
+from repro.execution.trace import PowerTrace, trace_of
+
+__all__ = [
+    "CpiBreakdown",
+    "Execution",
+    "ExecutionEngine",
+    "Phase",
+    "Placement",
+    "PowerTrace",
+    "default_engine",
+    "place_threads",
+    "thread_cpi",
+    "trace_of",
+]

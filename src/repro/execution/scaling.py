@@ -1,0 +1,70 @@
+"""Thread placement and multiprocessor scaling.
+
+Maps a program's software threads onto a configuration's hardware contexts
+the way the period Linux scheduler does — whole cores first, SMT siblings
+only once every core has one thread — and computes the aggregate
+instruction throughput of that placement, including Amdahl's serial
+fraction and per-thread synchronisation overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.execution.cpi import CpiBreakdown
+from repro.execution.smt import core_throughput_gain
+from repro.hardware.config import Configuration
+
+
+@dataclass(frozen=True, slots=True)
+class Placement:
+    """How software threads land on cores and SMT contexts."""
+
+    threads: int
+    cores_used: int
+    #: Cores running two hardware threads.
+    smt_pairs: int
+
+    @property
+    def single_thread_cores(self) -> int:
+        return self.cores_used - self.smt_pairs
+
+
+def place_threads(threads: int, config: Configuration) -> Placement:
+    """Schedule ``threads`` runnable threads on ``config``.
+
+    Threads beyond the hardware context count time-share and add no
+    throughput; they are clipped (the engine also clips, but placement
+    must be self-consistent).
+    """
+    if threads < 1:
+        raise ValueError("thread count must be >= 1")
+    threads = min(threads, config.hardware_contexts)
+    cores_used = min(threads, config.active_cores)
+    smt_pairs = max(threads - cores_used, 0)
+    return Placement(threads=threads, cores_used=cores_used, smt_pairs=smt_pairs)
+
+
+def aggregate_throughput(
+    placement: Placement,
+    per_thread: CpiBreakdown,
+    config: Configuration,
+    frequency_hz: float,
+    extra_contention: float = 0.0,
+) -> float:
+    """Instructions per second of all placed threads together."""
+    single_rate = frequency_hz / per_thread.total
+    smt_gain = core_throughput_gain(
+        config.spec.family, per_thread, extra_contention
+    )
+    return (
+        placement.single_thread_cores * single_rate
+        + placement.smt_pairs * single_rate * smt_gain
+    )
+
+
+def sync_inflation(character_sync_overhead: float, threads: int) -> float:
+    """Wall-time inflation from synchronising ``threads`` workers."""
+    if threads < 1:
+        raise ValueError("thread count must be >= 1")
+    return 1.0 + character_sync_overhead * (threads - 1)

@@ -1,0 +1,91 @@
+"""Power-versus-time view of an execution.
+
+The measurement substrate samples the processor's supply current at 50 Hz
+(§2.5); this module exposes an execution's ground-truth power as a
+piecewise-constant function of time so the sensor pipeline can sample it
+without knowing anything about phases.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Seconds, Watts
+from repro.execution.engine import Execution
+
+
+@dataclass(frozen=True)
+class PowerTrace:
+    """Piecewise-constant true power over the duration of a run."""
+
+    duration: Seconds
+    boundaries: tuple[float, ...]  # cumulative end time of each piece
+    levels: tuple[float, ...]  # watts within each piece
+
+    def __post_init__(self) -> None:
+        if len(self.boundaries) != len(self.levels):
+            raise ValueError("boundaries and levels must align")
+        if not self.boundaries:
+            raise ValueError("a trace needs at least one piece")
+
+    def power_at(self, t: float) -> Watts:
+        """True power at time ``t`` (clamped to the run's duration)."""
+        if t < 0:
+            raise ValueError("time cannot be negative")
+        t = min(t, self.boundaries[-1])
+        index = min(bisect_right(self.boundaries, t), len(self.levels) - 1)
+        return Watts(self.levels[index])
+
+    def sample_times(self, rate_hz: float, max_samples: int | None = None) -> np.ndarray:
+        """Sampling instants of a logger running at ``rate_hz``.
+
+        ``max_samples`` caps the sample count for very long runs (the
+        power signal is piecewise constant, so a bounded number of samples
+        loses nothing but noise-averaging depth); the cap stretches the
+        effective period to keep samples evenly spread over the full run.
+        """
+        if rate_hz <= 0:
+            raise ValueError("sample rate must be positive")
+        count = max(int(self.duration.value * rate_hz), 1)
+        if max_samples is not None:
+            if max_samples < 1:
+                raise ValueError("max_samples must be >= 1")
+            count = min(count, max_samples)
+        return (np.arange(count) + 0.5) * (self.duration.value / count)
+
+    def powers_at(self, times: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`power_at` (watts as a float array)."""
+        times = np.clip(np.asarray(times, dtype=float), 0.0, self.boundaries[-1])
+        idx = np.minimum(
+            np.searchsorted(self.boundaries, times, side="right"),
+            len(self.levels) - 1,
+        )
+        return np.asarray(self.levels, dtype=float)[idx]
+
+    def average_power(self) -> Watts:
+        """Exact time-weighted average of the trace."""
+        start = 0.0
+        total = 0.0
+        for end, level in zip(self.boundaries, self.levels):
+            total += level * (end - start)
+            start = end
+        return Watts(total / self.boundaries[-1])
+
+
+def trace_of(execution: Execution) -> PowerTrace:
+    """Build the ground-truth power trace of an execution."""
+    boundaries: list[float] = []
+    levels: list[float] = []
+    elapsed = 0.0
+    for phase in execution.phases:
+        elapsed += phase.seconds
+        boundaries.append(elapsed)
+        levels.append(phase.power.value)
+    return PowerTrace(
+        duration=execution.seconds,
+        boundaries=tuple(boundaries),
+        levels=tuple(levels),
+    )

@@ -1,0 +1,6 @@
+"""One module per paper table and figure, plus the findings as checks.
+
+Use :func:`repro.experiments.registry.run_experiment` to regenerate any
+artifact by id (``table1`` .. ``table5``, ``fig1`` .. ``fig12``), or
+:func:`repro.experiments.findings.evaluate_all` for the thirteen findings.
+"""

@@ -1,0 +1,65 @@
+"""Extension: the diminishing returns of frequency scaling across nodes.
+
+Le Sueur & Heiser (the paper's related work, §5) observed that as process
+technology shrinks, down-clocking saves less energy — static power and
+flatter voltage curves erode DVFS's payoff.  The study's own machines
+span that transition: the 45 nm parts still save ~35-40 % energy at their
+lowest clock, while the 32 nm i5 saves essentially nothing (Architecture
+Finding 3 is the same phenomenon seen from the other end).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aggregation import group_means, weighted_average
+from repro.core.study import Study
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.experiments.fig7_clock import MACHINES, _config
+from repro.workloads.catalog import BENCHMARKS
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    rows = []
+    for _, spec, cores, threads in MACHINES:
+        top = study.run_config(
+            _config(spec, cores, threads, spec.clock_points_ghz[-1])
+        )
+        bottom = study.run_config(
+            _config(spec, cores, threads, spec.clock_points_ghz[0])
+        )
+        top_energy = weighted_average(
+            group_means(top.values("normalized_energy"), BENCHMARKS)
+        )
+        bottom_energy = weighted_average(
+            group_means(bottom.values("normalized_energy"), BENCHMARKS)
+        )
+        top_perf = weighted_average(
+            group_means(top.values("speedup"), BENCHMARKS)
+        )
+        bottom_perf = weighted_average(
+            group_means(bottom.values("speedup"), BENCHMARKS)
+        )
+        saving = 1.0 - bottom_energy / top_energy
+        slowdown = 1.0 - bottom_perf / top_perf
+        rows.append(
+            {
+                "processor": spec.label,
+                "node_nm": spec.node.nanometers,
+                "downclock_energy_saving": round(saving, 3),
+                "downclock_slowdown": round(slowdown, 3),
+                "saving_per_unit_slowdown": round(saving / slowdown, 3),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_dvfs",
+        title="Diminishing returns of down-clocking across process nodes",
+        paper_section="§5 related work (Le Sueur & Heiser), probed",
+        rows=tuple(rows),
+        notes=(
+            "Positive savings mean the lowest clock is more energy "
+            "efficient.  The 45nm parts save substantially; the 32nm i5 "
+            "saves nothing — frequency scaling's energy payoff is gone.",
+        ),
+    )

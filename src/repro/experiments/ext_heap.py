@@ -1,0 +1,66 @@
+"""Extension: heap-size sensitivity of the Java results.
+
+The paper fixes every heap at a generous 3x the minimum (§2.2).  This
+experiment sweeps the heap factor and reports how Java run time and the
+Fig. 6 CMP gain respond: tighter heaps collect more, raising both the
+runtime-service load and the benefit of offloading it to a second core.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.statistics import mean
+from repro.core.study import Study
+from repro.execution.engine import ExecutionEngine
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import Configuration
+from repro.runtime.heap import HeapPolicy
+from repro.workloads.catalog import single_threaded_java
+
+HEAP_FACTORS: tuple[float, ...] = (1.5, 2.0, 3.0, 6.0)
+
+
+def run(
+    study: Optional[Study] = None,
+    heap_factors: Sequence[float] = HEAP_FACTORS,
+) -> ExperimentResult:
+    resolve_study(study)
+    one = Configuration(CORE_I7_45, 1, 1, 2.66)
+    two = Configuration(CORE_I7_45, 2, 1, 2.66)
+    benchmarks = single_threaded_java()
+
+    baseline_engine = ExecutionEngine(heap=HeapPolicy(3.0), seed_root="heap/3.0")
+    baseline = {
+        b.name: baseline_engine.ideal(b, one).seconds.value for b in benchmarks
+    }
+
+    rows = []
+    for factor in heap_factors:
+        engine = ExecutionEngine(heap=HeapPolicy(factor), seed_root=f"heap/{factor}")
+        slowdowns = []
+        cmp_gains = []
+        for bench in benchmarks:
+            t_one = engine.ideal(bench, one).seconds.value
+            t_two = engine.ideal(bench, two).seconds.value
+            slowdowns.append(t_one / baseline[bench.name])
+            cmp_gains.append(t_one / t_two)
+        rows.append(
+            {
+                "heap_factor": factor,
+                "mean_time_vs_3x_heap": round(mean(slowdowns), 3),
+                "mean_cmp_gain_2C_over_1C": round(mean(cmp_gains), 3),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="ext_heap",
+        title="Heap-size sensitivity of single-threaded Java (i7 45)",
+        paper_section="§2.2 (methodological choice probed)",
+        rows=tuple(rows),
+        notes=(
+            "Tighter heaps run slower on one context and gain more from a "
+            "second core — Workload Finding 1's magnitude is partly a "
+            "function of the 3x heap choice.",
+        ),
+    )

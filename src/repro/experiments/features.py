@@ -1,0 +1,91 @@
+"""Shared machinery for the §3 feature analyses.
+
+Each feature experiment (CMP, SMT, clock, die shrink, microarchitecture,
+Turbo Boost) compares two processor configurations: per-benchmark ratios
+are aggregated into group means, and the groups averaged equally — exactly
+the paper's two-panel presentation (average effect on performance / power
+/ energy, plus the energy effect per workload group).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.aggregation import per_group_ratio, ratio_of_aggregates
+from repro.core.study import Study
+from repro.hardware.config import Configuration
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import BENCHMARKS
+
+
+@dataclass(frozen=True)
+class FeatureEffect:
+    """Effect of one configuration change, numerator versus denominator."""
+
+    label: str
+    numerator: str  # configuration keys, for provenance
+    denominator: str
+    performance: float  # >1 means the change speeds things up
+    power: float  # >1 means the change costs power
+    energy: float  # <1 means the change saves energy
+    energy_by_group: dict[Group, float]
+
+
+def compare(
+    study: Study,
+    numerator: Configuration,
+    denominator: Configuration,
+    label: str,
+) -> FeatureEffect:
+    """Measure ``numerator`` against ``denominator`` the paper's way."""
+    num = study.run_config(numerator)
+    den = study.run_config(denominator)
+    num_t, den_t = num.values("seconds"), den.values("seconds")
+    num_p, den_p = num.values("watts"), den.values("watts")
+    num_e, den_e = num.values("energy_joules"), den.values("energy_joules")
+
+    performance = 1.0 / ratio_of_aggregates(num_t, den_t, BENCHMARKS)
+    power = ratio_of_aggregates(num_p, den_p, BENCHMARKS)
+    energy = ratio_of_aggregates(num_e, den_e, BENCHMARKS)
+    by_group = per_group_ratio(num_e, den_e, BENCHMARKS)
+    return FeatureEffect(
+        label=label,
+        numerator=numerator.key,
+        denominator=denominator.key,
+        performance=performance,
+        power=power,
+        energy=energy,
+        energy_by_group=by_group,
+    )
+
+
+def effect_row(effect: FeatureEffect, paper: dict | None = None) -> dict[str, object]:
+    """A standard experiment row for one feature comparison."""
+    row: dict[str, object] = {
+        "comparison": effect.label,
+        "performance": round(effect.performance, 3),
+        "power": round(effect.power, 3),
+        "energy": round(effect.energy, 3),
+    }
+    if paper is not None:
+        row["paper_performance"] = paper.get("performance")
+        row["paper_power"] = paper.get("power")
+        row["paper_energy"] = paper.get("energy")
+    return row
+
+
+def group_energy_rows(
+    effect: FeatureEffect, paper_by_group: dict | None = None
+) -> list[dict[str, object]]:
+    """Per-group energy panel rows (the paper's (b) charts)."""
+    rows = []
+    for group, value in effect.energy_by_group.items():
+        row: dict[str, object] = {
+            "comparison": effect.label,
+            "group": group.value,
+            "energy": round(value, 3),
+        }
+        if paper_by_group is not None and group in paper_by_group:
+            row["paper_energy"] = paper_by_group[group]
+        rows.append(row)
+    return rows

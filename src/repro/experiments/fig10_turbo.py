@@ -1,0 +1,55 @@
+"""Fig. 10: the impact of Turbo Boost (§3.6).
+
+Turbo enabled versus disabled at the stock clock, on the full stock
+parallelism and limited to a single hardware context (where the boost may
+add a second step).  Architecture Finding 8: Turbo Boost is not energy
+efficient on the i7 (45) — the boost's power cost far outruns the
+clock-predicted performance gain — while the i5 (32) is essentially
+energy-neutral.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.experiments.features import FeatureEffect, compare, effect_row, group_energy_rows
+from repro.hardware.catalog import CORE_I5_32, CORE_I7_45
+from repro.hardware.config import Configuration
+
+_CASES = (
+    ("i7_45/4C2T", CORE_I7_45, 4, 2, 2.66),
+    ("i7_45/1C1T", CORE_I7_45, 1, 1, 2.66),
+    ("i5_32/2C2T", CORE_I5_32, 2, 2, 3.46),
+    ("i5_32/1C1T", CORE_I5_32, 1, 1, 3.46),
+)
+
+
+def effects(study: Study) -> dict[str, FeatureEffect]:
+    resolved = {}
+    for key, spec, cores, threads, clock in _CASES:
+        resolved[key] = compare(
+            study,
+            Configuration(spec, cores, threads, clock, turbo_enabled=True),
+            Configuration(spec, cores, threads, clock, turbo_enabled=False),
+            label=f"{spec.label} {cores}C{threads}T TB on/off",
+        )
+    return resolved
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    resolved = effects(study)
+    rows: list[dict[str, object]] = []
+    for key, effect in resolved.items():
+        rows.append(effect_row(effect, paper_data.FIG10_TURBO[key]))
+    for key in ("i7_45/4C2T", "i5_32/2C2T"):
+        rows.extend(group_energy_rows(resolved[key]))
+    return ExperimentResult(
+        experiment_id="fig10",
+        title="Impact of enabling Turbo Boost",
+        paper_section="Fig. 10 / Architecture Finding 8",
+        rows=tuple(rows),
+    )

@@ -1,0 +1,56 @@
+"""Fig. 11: the historical power / performance overview (§4.1).
+
+(a) Each stock processor's group-weighted performance and power — the
+log/log scatter tracing 2003-2010.  (b) The same divided by package
+transistor count: Architecture Finding 9, power per transistor is
+consistent within a microarchitecture family while performance per
+transistor is not.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aggregation import group_means, weighted_average
+from repro.core.study import Study
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.catalog import PROCESSORS
+from repro.hardware.config import stock
+from repro.workloads.catalog import BENCHMARKS
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    rows = []
+    for spec in PROCESSORS:
+        results = study.run_config(stock(spec))
+        performance = weighted_average(
+            group_means(results.values("speedup"), BENCHMARKS)
+        )
+        watts = weighted_average(group_means(results.values("watts"), BENCHMARKS))
+        rows.append(
+            {
+                "processor": spec.label,
+                "uarch": spec.family.name,
+                "release": spec.release,
+                "node_nm": spec.node.nanometers,
+                "performance": round(performance, 2),
+                "watts": round(watts, 1),
+                "transistors_m": spec.transistors_m,
+                "performance_per_mtransistor": round(
+                    performance / spec.transistors_m, 5
+                ),
+                "watts_per_mtransistor": round(watts / spec.transistors_m, 5),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="fig11",
+        title="Historical power / performance, absolute and per transistor",
+        paper_section="Fig. 11 / Architecture Finding 9",
+        rows=tuple(rows),
+        notes=(
+            "Power per transistor should cluster by microarchitecture "
+            "family: NetBurst by far the highest, Bonnell and the 45/32nm "
+            "parts at the bottom.",
+        ),
+    )

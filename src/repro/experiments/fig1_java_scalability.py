@@ -1,0 +1,45 @@
+"""Fig. 1: scalability of the multithreaded Java benchmarks on the i7.
+
+Each multithreaded Java benchmark's speedup at 4C2T over 1C1T, which is
+how the paper selects Java Scalable (the five that scale like PARSEC).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import Configuration
+from repro.workloads.catalog import multithreaded_java
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    benchmarks = multithreaded_java()
+    one = study.run(
+        (Configuration(CORE_I7_45, 1, 1, 2.66),), benchmarks
+    ).values("seconds")
+    eight = study.run(
+        (Configuration(CORE_I7_45, 4, 2, 2.66),), benchmarks
+    ).values("seconds")
+    rows = []
+    for benchmark in benchmarks:
+        measured = one[benchmark.name] / eight[benchmark.name]
+        rows.append(
+            {
+                "benchmark": benchmark.name,
+                "group": benchmark.group.value,
+                "measured_4C2T_over_1C1T": round(measured, 2),
+                "paper": paper_data.FIG1_JAVA_SCALABILITY.get(benchmark.name),
+            }
+        )
+    rows.sort(key=lambda r: -float(r["measured_4C2T_over_1C1T"]))
+    return ExperimentResult(
+        experiment_id="fig1",
+        title="Scalability of multithreaded Java benchmarks on the i7 (45)",
+        paper_section="Fig. 1",
+        rows=tuple(rows),
+    )

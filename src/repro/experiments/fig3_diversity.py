@@ -1,0 +1,52 @@
+"""Fig. 3: benchmark power / performance distribution on the i7 (§2.7).
+
+Per-benchmark performance (normalised to reference) and measured power on
+the stock i7: scalable benchmarks cluster fast-and-hungry, non-scalable
+ones spread widely — the diversity argument for the four-group weighting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import stock
+from repro.workloads.catalog import BENCHMARKS_BY_NAME
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    results = study.run_config(stock(CORE_I7_45))
+    speed = results.values("speedup")
+    watts = results.values("watts")
+    rows = []
+    for name in speed:
+        benchmark = BENCHMARKS_BY_NAME[name]
+        rows.append(
+            {
+                "benchmark": name,
+                "group": benchmark.group.value,
+                "performance": round(speed[name], 2),
+                "watts": round(watts[name], 1),
+            }
+        )
+    rows.sort(key=lambda r: (r["group"], -float(r["performance"])))
+    low = min(watts, key=watts.__getitem__)
+    high = max(watts, key=watts.__getitem__)
+    return ExperimentResult(
+        experiment_id="fig3",
+        title="Benchmark power and performance on the i7 (45)",
+        paper_section="Fig. 3 / §2.5 extremes",
+        rows=tuple(rows),
+        notes=(
+            f"power extremes: {low} {watts[low]:.1f}W .. {high} "
+            f"{watts[high]:.1f}W (paper: "
+            f"{paper_data.I7_POWER_EXTREMES['min_benchmark']} "
+            f"{paper_data.I7_POWER_EXTREMES['min']:.0f}W .. "
+            f"{paper_data.I7_POWER_EXTREMES['max_benchmark']} "
+            f"{paper_data.I7_POWER_EXTREMES['max']:.0f}W)",
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Fig. 5: the effect of simultaneous multithreading (§3.2).
+
+Two hardware threads versus one, on a single core, Turbo Boost disabled,
+for the four SMT-capable machines.  Architecture Finding 2: SMT delivers
+substantial energy savings on the i5 and — most strikingly — on the
+dual-issue in-order Atom.  Workload Finding 2: SMT degrades Java
+Non-scalable on the Pentium 4.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.experiments.features import FeatureEffect, compare, effect_row, group_energy_rows
+from repro.hardware.catalog import ATOM_45, CORE_I5_32, CORE_I7_45, PENTIUM4_130
+from repro.hardware.config import Configuration
+
+_MACHINES = (
+    ("pentium4_130", PENTIUM4_130, 2.4),
+    ("i7_45", CORE_I7_45, 2.66),
+    ("atom_45", ATOM_45, 1.66),
+    ("i5_32", CORE_I5_32, 3.46),
+)
+
+
+def effects(study: Study) -> dict[str, FeatureEffect]:
+    resolved = {}
+    for key, spec, clock in _MACHINES:
+        resolved[key] = compare(
+            study,
+            Configuration(spec, 1, 2, clock),
+            Configuration(spec, 1, 1, clock),
+            label=f"{spec.label} 1C2T/1C1T",
+        )
+    return resolved
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    rows: list[dict[str, object]] = []
+    resolved = effects(study)
+    for key, effect in resolved.items():
+        rows.append(effect_row(effect, paper_data.FIG5_SMT[key]))
+    for key, effect in resolved.items():
+        rows.extend(
+            group_energy_rows(effect, paper_data.FIG5_SMT_ENERGY_BY_GROUP[key])
+        )
+    return ExperimentResult(
+        experiment_id="fig5",
+        title="Effect of SMT: two threads versus one on a single core",
+        paper_section="Fig. 5 / Architecture Finding 2 / Workload Finding 2",
+        rows=tuple(rows),
+    )

@@ -1,0 +1,74 @@
+"""Fig. 8: the effect of a die shrink (§3.4).
+
+Two family pairs observe a shrink: Core (Core 2D 65nm -> 45nm) and
+Nehalem (i7 45nm -> i5 32nm).  The paper compares at native clocks and at
+matched clocks (both Cores at 2.4 GHz, both Nehalems at 2.66 GHz, the i7
+limited to two cores to match the i5's parallelism).  Architecture
+Findings 4 and 5: a shrink is remarkably effective at cutting energy even
+at matched clock, and 45->32 nm repeated the previous generation's gains.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.experiments.features import FeatureEffect, compare, effect_row, group_energy_rows
+from repro.hardware.catalog import CORE2DUO_45, CORE2DUO_65, CORE_I5_32, CORE_I7_45
+from repro.hardware.config import Configuration, stock
+
+
+def native_clock_effects(study: Study) -> dict[str, FeatureEffect]:
+    """Fig. 8(a): new versus old part, both as shipped (i7 at 2C2T)."""
+    return {
+        "core": compare(
+            study,
+            stock(CORE2DUO_45),
+            stock(CORE2DUO_65),
+            label="Core: C2D (45) / C2D (65), native clocks",
+        ),
+        "nehalem": compare(
+            study,
+            stock(CORE_I5_32),
+            Configuration(CORE_I7_45, 2, 2, 2.66, turbo_enabled=True),
+            label="Nehalem: i5 (32) / i7 (45) 2C2T, native clocks",
+        ),
+    }
+
+
+def matched_clock_effects(study: Study) -> dict[str, FeatureEffect]:
+    """Fig. 8(b): new versus old at matched clock and parallelism."""
+    return {
+        "core": compare(
+            study,
+            Configuration(CORE2DUO_45, 2, 1, 2.4),
+            Configuration(CORE2DUO_65, 2, 1, 2.4),
+            label="Core: C2D (45) / C2D (65) @ 2.4GHz",
+        ),
+        "nehalem": compare(
+            study,
+            Configuration(CORE_I5_32, 2, 2, 2.66),
+            Configuration(CORE_I7_45, 2, 2, 2.66),
+            label="Nehalem: i5 (32) / i7 (45) 2C2T @ 2.66GHz",
+        ),
+    }
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    rows: list[dict[str, object]] = []
+    for key, effect in native_clock_effects(study).items():
+        rows.append(effect_row(effect, paper_data.FIG8_DIE_SHRINK_NATIVE[key]))
+    matched = matched_clock_effects(study)
+    for key, effect in matched.items():
+        rows.append(effect_row(effect, paper_data.FIG8_DIE_SHRINK_MATCHED[key]))
+    for effect in matched.values():
+        rows.extend(group_energy_rows(effect))
+    return ExperimentResult(
+        experiment_id="fig8",
+        title="Impact of a die shrink (Core 65->45nm, Nehalem 45->32nm)",
+        paper_section="Fig. 8 / Architecture Findings 4-5",
+        rows=tuple(rows),
+    )

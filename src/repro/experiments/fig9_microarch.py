@@ -1,0 +1,70 @@
+"""Fig. 9: the effect of gross microarchitecture change (§3.5).
+
+Compares Nehalem parts against each other family at matched clock, core
+count, and thread count.  Architecture Finding 6: Nehalem is ~14 % faster
+than Core when controlled; Finding 7: controlling for technology, Nehalem,
+Core, and Bonnell deliver similar energy efficiency.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.experiments.features import FeatureEffect, compare, effect_row, group_energy_rows
+from repro.hardware.catalog import (
+    ATOM_D510_45,
+    CORE2DUO_45,
+    CORE2DUO_65,
+    CORE_I5_32,
+    CORE_I7_45,
+    PENTIUM4_130,
+)
+from repro.hardware.config import Configuration, stock
+
+
+def effects(study: Study) -> dict[str, FeatureEffect]:
+    return {
+        "bonnell": compare(
+            study,
+            Configuration(CORE_I7_45, 2, 2, 1.6),
+            stock(ATOM_D510_45),
+            label="Bonnell: i7 (45) 2C2T@1.6 / AtomD (45)",
+        ),
+        "netburst": compare(
+            study,
+            Configuration(CORE_I7_45, 1, 2, 2.4),
+            stock(PENTIUM4_130),
+            label="NetBurst: i7 (45) 1C2T@2.4 / Pentium4 (130)",
+        ),
+        "core_45": compare(
+            study,
+            Configuration(CORE_I7_45, 2, 1, 1.6),
+            Configuration(CORE2DUO_45, 2, 1, 1.6),
+            label="Core: i7 (45) / C2D (45) 2C1T@1.6",
+        ),
+        "core_65": compare(
+            study,
+            Configuration(CORE_I5_32, 2, 1, 2.4),
+            Configuration(CORE2DUO_65, 2, 1, 2.4),
+            label="Core: i5 (32) / C2D (65) 2C1T@2.4",
+        ),
+    }
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    resolved = effects(study)
+    rows: list[dict[str, object]] = []
+    for key, effect in resolved.items():
+        rows.append(effect_row(effect, paper_data.FIG9_MICROARCH[key]))
+    for effect in resolved.values():
+        rows.extend(group_energy_rows(effect))
+    return ExperimentResult(
+        experiment_id="fig9",
+        title="Effect of gross microarchitecture change (Nehalem / other)",
+        paper_section="Fig. 9 / Architecture Findings 6-7",
+        rows=tuple(rows),
+    )

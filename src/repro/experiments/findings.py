@@ -1,0 +1,334 @@
+"""The paper's findings as executable checks.
+
+The paper calls out four WORKLOAD FINDINGS and nine ARCHITECTURE FINDINGS.
+Each function here evaluates one of them against the reproduced dataset
+and returns a :class:`FindingReport` with the supporting numbers, so both
+the test suite and EXPERIMENTS.md can assert that the reproduction carries
+the paper's conclusions, not merely its tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.core.study import Study
+from repro.experiments import (
+    fig4_cmp,
+    fig5_smt,
+    fig6_single_thread_java,
+    fig7_clock,
+    fig8_die_shrink,
+    fig9_microarch,
+    fig10_turbo,
+    fig11_historical,
+    table5_pareto_configs,
+)
+from repro.experiments.base import resolve_study
+from repro.workloads.benchmark import Group
+
+
+@dataclass(frozen=True)
+class FindingReport:
+    """One finding evaluated against the reproduction."""
+
+    finding_id: str
+    statement: str
+    holds: bool
+    evidence: dict[str, float | str | bool]
+
+
+# -- workload findings --------------------------------------------------------
+
+
+def workload_1(study: Optional[Study] = None) -> FindingReport:
+    """W1: the JVM induces parallelism into single-threaded Java."""
+    study = resolve_study(study)
+    result = fig6_single_thread_java.run(study)
+    ratios = [float(r["measured_2C1T_over_1C1T"]) for r in result.rows]
+    mean_gain = sum(ratios) / len(ratios)
+    dtlb = fig6_single_thread_java.dtlb_reduction(study)
+    return FindingReport(
+        finding_id="W1",
+        statement=(
+            "The JVM often induces significant parallelism into the "
+            "execution of single-threaded Java benchmarks"
+        ),
+        holds=mean_gain > 1.05 and max(ratios) > 1.25 and dtlb > 1.8,
+        evidence={
+            "mean_2C_over_1C": round(mean_gain, 3),
+            "max_2C_over_1C": round(max(ratios), 3),
+            "db_dtlb_reduction": round(dtlb, 2),
+        },
+    )
+
+
+def workload_2(study: Optional[Study] = None) -> FindingReport:
+    """W2: on the Pentium 4, SMT degrades Java Non-scalable."""
+    study = resolve_study(study)
+    effect = fig5_smt.effects(study)["pentium4_130"]
+    jn_energy = effect.energy_by_group[Group.JAVA_NONSCALABLE]
+    ns_energy = effect.energy_by_group[Group.NATIVE_SCALABLE]
+    return FindingReport(
+        finding_id="W2",
+        statement="On the Pentium 4 (130), SMT degrades Java Non-scalable",
+        holds=jn_energy > 1.0 and jn_energy > ns_energy,
+        evidence={
+            "p4_smt_jn_energy": round(jn_energy, 3),
+            "p4_smt_ns_energy": round(ns_energy, 3),
+        },
+    )
+
+
+def workload_3(study: Optional[Study] = None) -> FindingReport:
+    """W3: Native Non-scalable's power/performance differs from the rest."""
+    from repro.core.aggregation import group_means
+    from repro.hardware.catalog import CORE_I5_32, CORE_I7_45
+    from repro.hardware.config import stock
+    from repro.workloads.catalog import BENCHMARKS
+
+    study = resolve_study(study)
+    evidence: dict[str, float | str | bool] = {}
+    holds = True
+    for spec in (CORE_I7_45, CORE_I5_32):
+        watts = group_means(
+            study.run_config(stock(spec)).values("watts"), BENCHMARKS
+        )
+        nn = watts[Group.NATIVE_NONSCALABLE]
+        others = [watts[g] for g in watts if g is not Group.NATIVE_NONSCALABLE]
+        evidence[f"{spec.key}_nn_watts"] = round(nn, 1)
+        evidence[f"{spec.key}_min_other_watts"] = round(min(others), 1)
+        holds = holds and all(other > nn for other in others)
+    return FindingReport(
+        finding_id="W3",
+        statement=(
+            "SPEC CPU2006 draws significantly less power than managed or "
+            "scalable native workloads on the i7 (45) and i5 (32)"
+        ),
+        holds=holds,
+        evidence=evidence,
+    )
+
+
+def workload_4(study: Optional[Study] = None) -> FindingReport:
+    """W4: Pareto-efficient design is very sensitive to workload."""
+    study = resolve_study(study)
+    sets = {
+        grouping: table5_pareto_configs.efficient_keys(study, grouping)
+        for grouping in (
+            Group.NATIVE_NONSCALABLE,
+            Group.NATIVE_SCALABLE,
+            Group.JAVA_NONSCALABLE,
+            Group.JAVA_SCALABLE,
+        )
+    }
+    nn = sets[Group.NATIVE_NONSCALABLE]
+    others = (
+        sets[Group.NATIVE_SCALABLE]
+        | sets[Group.JAVA_NONSCALABLE]
+        | sets[Group.JAVA_SCALABLE]
+    )
+    distinct = len({frozenset(s) for s in sets.values()})
+    return FindingReport(
+        finding_id="W4",
+        statement="Energy-efficient architecture design is very sensitive to workload",
+        holds=distinct >= 3 and len(nn - others) >= 1,
+        evidence={
+            "distinct_frontier_sets": distinct,
+            "nn_exclusive_choices": len(nn - others),
+        },
+    )
+
+
+# -- architecture findings -----------------------------------------------------
+
+
+def architecture_1(study: Optional[Study] = None) -> FindingReport:
+    """A1: enabling a second core is not consistently energy efficient."""
+    study = resolve_study(study)
+    i7, i5 = fig4_cmp.effects(study)
+    return FindingReport(
+        finding_id="A1",
+        statement="When comparing one core to two, enabling a core is not consistently energy efficient",
+        holds=i7.energy > 1.0 and i5.energy < 1.0,
+        evidence={
+            "i7_cmp_energy": round(i7.energy, 3),
+            "i5_cmp_energy": round(i5.energy, 3),
+        },
+    )
+
+
+def architecture_2(study: Optional[Study] = None) -> FindingReport:
+    """A2: SMT delivers substantial energy savings on the i5 and Atom."""
+    study = resolve_study(study)
+    effects = fig5_smt.effects(study)
+    i5 = effects["i5_32"].energy
+    atom = effects["atom_45"].energy
+    p4 = effects["pentium4_130"].energy
+    return FindingReport(
+        finding_id="A2",
+        statement="SMT delivers substantial energy savings for the i5 (32) and Atom (45)",
+        holds=i5 < 0.96 and atom < 0.92 and atom < p4,
+        evidence={
+            "i5_smt_energy": round(i5, 3),
+            "atom_smt_energy": round(atom, 3),
+            "p4_smt_energy": round(p4, 3),
+        },
+    )
+
+
+def architecture_3(study: Optional[Study] = None) -> FindingReport:
+    """A3: the i5's energy is flat with clock; the i7/C2D45's is not."""
+    study = resolve_study(study)
+    rows = {r["processor"]: r for r in fig7_clock.doubling_rows(study)}
+    i5 = float(rows["i5 (32)"]["energy_per_doubling"])
+    i7 = float(rows["i7 (45)"]["energy_per_doubling"])
+    c2d = float(rows["C2D (45)"]["energy_per_doubling"])
+    return FindingReport(
+        finding_id="A3",
+        statement=(
+            "The i5 (32) does not increase energy consumption as the clock "
+            "increases, in contrast to the i7 (45) and Core 2D (45)"
+        ),
+        holds=abs(i5) < 0.15 and i7 > 0.30 and c2d > 0.30,
+        evidence={
+            "i5_energy_per_doubling": i5,
+            "i7_energy_per_doubling": i7,
+            "c2d45_energy_per_doubling": c2d,
+        },
+    )
+
+
+def architecture_4(study: Optional[Study] = None) -> FindingReport:
+    """A4: a die shrink cuts energy even at matched clock."""
+    study = resolve_study(study)
+    matched = fig8_die_shrink.matched_clock_effects(study)
+    core = matched["core"].energy
+    nehalem = matched["nehalem"].energy
+    return FindingReport(
+        finding_id="A4",
+        statement="A die shrink is remarkably effective at reducing energy, even at matched clock",
+        holds=core < 0.75 and nehalem < 0.95,
+        evidence={
+            "core_shrink_energy": round(core, 3),
+            "nehalem_shrink_energy": round(nehalem, 3),
+        },
+    )
+
+
+def architecture_5(study: Optional[Study] = None) -> FindingReport:
+    """A5: 45->32 nm repeated the previous generation's energy gains."""
+    study = resolve_study(study)
+    matched = fig8_die_shrink.matched_clock_effects(study)
+    gap = abs(matched["core"].power - matched["nehalem"].power)
+    return FindingReport(
+        finding_id="A5",
+        statement="Moving from 45nm to 32nm repeated the energy improvements of the previous generation",
+        holds=gap < 0.35,
+        evidence={
+            "core_shrink_power": round(matched["core"].power, 3),
+            "nehalem_shrink_power": round(matched["nehalem"].power, 3),
+        },
+    )
+
+
+def architecture_6(study: Optional[Study] = None) -> FindingReport:
+    """A6: Nehalem ~14% faster than Core, controlled."""
+    study = resolve_study(study)
+    effects = fig9_microarch.effects(study)
+    ratios = [effects["core_45"].performance, effects["core_65"].performance]
+    return FindingReport(
+        finding_id="A6",
+        statement="Controlling for parallelism and clock, Nehalem performs about 14% better than Core",
+        holds=all(1.02 <= r <= 1.40 for r in ratios),
+        evidence={
+            "i7_over_c2d45": round(ratios[0], 3),
+            "i5_over_c2d65": round(ratios[1], 3),
+        },
+    )
+
+
+def architecture_7(study: Optional[Study] = None) -> FindingReport:
+    """A7: at constant technology, Nehalem's energy efficiency is similar
+    to Core's and Bonnell's."""
+    study = resolve_study(study)
+    effects = fig9_microarch.effects(study)
+    core = effects["core_45"].energy
+    bonnell = effects["bonnell"].energy
+    return FindingReport(
+        finding_id="A7",
+        statement="Controlling for technology, Nehalem has similar energy efficiency to Core and Bonnell",
+        holds=0.6 <= core <= 1.3 and 0.6 <= bonnell <= 1.3,
+        evidence={
+            "i7_over_c2d45_energy": round(core, 3),
+            "i7_over_atomd_energy": round(bonnell, 3),
+        },
+    )
+
+
+def architecture_8(study: Optional[Study] = None) -> FindingReport:
+    """A8: Turbo Boost is not energy efficient on the i7."""
+    study = resolve_study(study)
+    effects = fig10_turbo.effects(study)
+    i7 = effects["i7_45/4C2T"].energy
+    i5 = effects["i5_32/2C2T"].energy
+    return FindingReport(
+        finding_id="A8",
+        statement="Turbo Boost is not energy efficient on the i7 (45)",
+        holds=i7 > 1.10 and i5 < 1.08,
+        evidence={
+            "i7_turbo_energy": round(i7, 3),
+            "i5_turbo_energy": round(i5, 3),
+        },
+    )
+
+
+def architecture_9(study: Optional[Study] = None) -> FindingReport:
+    """A9: power per transistor is consistent within a family."""
+    study = resolve_study(study)
+    rows = fig11_historical.run(study).rows
+    by_family: dict[str, list[float]] = {}
+    for row in rows:
+        by_family.setdefault(str(row["uarch"]), []).append(
+            float(row["watts_per_mtransistor"])
+        )
+    within = max(
+        max(values) / min(values)
+        for values in by_family.values()
+        if len(values) > 1
+    )
+    across = max(max(v) for v in by_family.values()) / min(
+        min(v) for v in by_family.values()
+    )
+    return FindingReport(
+        finding_id="A9",
+        statement="Power per transistor is relatively consistent within a microarchitecture family",
+        holds=within < 2.0 and across > 3.0 and across > 1.5 * within,
+        evidence={
+            "max_within_family_ratio": round(within, 2),
+            "across_family_ratio": round(across, 2),
+        },
+    )
+
+
+ALL_FINDINGS: tuple[Callable[[Optional[Study]], FindingReport], ...] = (
+    workload_1,
+    workload_2,
+    workload_3,
+    workload_4,
+    architecture_1,
+    architecture_2,
+    architecture_3,
+    architecture_4,
+    architecture_5,
+    architecture_6,
+    architecture_7,
+    architecture_8,
+    architecture_9,
+)
+
+
+def evaluate_all(study: Optional[Study] = None) -> list[FindingReport]:
+    """Evaluate every finding against one shared dataset."""
+    study = resolve_study(study)
+    return [finding(study) for finding in ALL_FINDINGS]

@@ -1,0 +1,175 @@
+"""The paper's reported numbers, transcribed for comparison.
+
+Every experiment prints paper-reported versus reproduced values, and the
+integration tests assert *shape* agreement (orderings, ratio bands, signs)
+against these constants.  Sources are the table/figure cited on each
+block.  Figure values read off charts are approximate (+/- the chart's
+resolution); table values are exact.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.benchmark import Group
+
+NN = Group.NATIVE_NONSCALABLE
+NS = Group.NATIVE_SCALABLE
+JN = Group.JAVA_NONSCALABLE
+JS = Group.JAVA_SCALABLE
+
+#: Table 4 — average speedup over reference per processor and group.
+TABLE4_SPEEDUP: dict[str, dict] = {
+    "pentium4_130": {NN: 0.91, NS: 0.79, JN: 0.80, JS: 0.75, "Avg_w": 0.82, "Avg_b": 0.85, "Min": 0.51, "Max": 1.25},
+    "c2d_65": {NN: 2.02, NS: 2.10, JN: 1.99, JS: 2.04, "Avg_w": 2.04, "Avg_b": 2.03, "Min": 1.40, "Max": 2.85},
+    "c2q_65": {NN: 2.04, NS: 3.62, JN: 2.04, JS: 3.09, "Avg_w": 2.70, "Avg_b": 2.41, "Min": 1.39, "Max": 4.67},
+    "i7_45": {NN: 3.11, NS: 6.25, JN: 3.00, JS: 5.49, "Avg_w": 4.46, "Avg_b": 3.84, "Min": 2.16, "Max": 7.60},
+    "atom_45": {NN: 0.49, NS: 0.52, JN: 0.53, JS: 0.52, "Avg_w": 0.52, "Avg_b": 0.51, "Min": 0.39, "Max": 0.75},
+    "c2d_45": {NN: 2.48, NS: 2.76, JN: 2.49, JS: 2.44, "Avg_w": 2.54, "Avg_b": 2.53, "Min": 1.45, "Max": 3.71},
+    "atomd_45": {NN: 0.53, NS: 0.96, JN: 0.61, JS: 0.86, "Avg_w": 0.74, "Avg_b": 0.66, "Min": 0.41, "Max": 1.17},
+    "i5_32": {NN: 3.31, NS: 4.46, JN: 3.18, JS: 4.26, "Avg_w": 3.80, "Avg_b": 3.56, "Min": 2.39, "Max": 5.42},
+}
+
+#: Table 4 — average measured power (watts) per processor and group.
+TABLE4_POWER: dict[str, dict] = {
+    "pentium4_130": {NN: 42.1, NS: 43.5, JN: 45.1, JS: 45.7, "Avg_w": 44.1, "Avg_b": 43.5, "Min": 34.5, "Max": 50.0},
+    "c2d_65": {NN: 24.3, NS: 26.6, JN: 26.2, JS: 28.5, "Avg_w": 26.4, "Avg_b": 25.6, "Min": 21.4, "Max": 32.3},
+    "c2q_65": {NN: 50.7, NS: 61.7, JN: 55.3, JS: 64.6, "Avg_w": 58.1, "Avg_b": 55.2, "Min": 45.6, "Max": 77.3},
+    "i7_45": {NN: 27.2, NS: 60.4, JN: 37.5, JS: 62.8, "Avg_w": 47.0, "Avg_b": 39.1, "Min": 23.4, "Max": 89.2},
+    "atom_45": {NN: 2.3, NS: 2.5, JN: 2.3, JS: 2.4, "Avg_w": 2.4, "Avg_b": 2.3, "Min": 1.9, "Max": 2.7},
+    "c2d_45": {NN: 19.1, NS: 21.1, JN: 20.5, JS: 22.6, "Avg_w": 20.8, "Avg_b": 20.2, "Min": 15.8, "Max": 26.8},
+    "atomd_45": {NN: 3.7, NS: 5.3, JN: 4.5, JS: 5.1, "Avg_w": 4.7, "Avg_b": 4.3, "Min": 3.4, "Max": 5.9},
+    "i5_32": {NN: 19.6, NS: 29.2, JN: 24.7, JS: 29.5, "Avg_w": 25.7, "Avg_b": 23.6, "Min": 16.5, "Max": 38.2},
+}
+
+#: Table 4 — the within-column ranks (1 = best performance / lowest power).
+TABLE4_SPEEDUP_RANKS_AVGW = {
+    "i7_45": 1, "i5_32": 2, "c2q_65": 3, "c2d_45": 4,
+    "c2d_65": 5, "pentium4_130": 6, "atomd_45": 7, "atom_45": 8,
+}
+TABLE4_POWER_RANKS_AVGW = {
+    "atom_45": 1, "atomd_45": 2, "c2d_45": 3, "i5_32": 4,
+    "c2d_65": 5, "pentium4_130": 6, "i7_45": 7, "c2q_65": 8,
+}
+
+#: Fig. 4(a) — CMP: 2 cores / 1 core, average over groups (no SMT/TB).
+FIG4_CMP = {
+    "i7_45": {"performance": 1.32, "power": 1.57, "energy": 1.12},
+    "i5_32": {"performance": 1.34, "power": 1.29, "energy": 0.91},
+}
+
+#: Fig. 4(b) — CMP energy effect per workload group.
+FIG4_CMP_ENERGY_BY_GROUP = {
+    "i7_45": {NN: 1.13, NS: 1.09, JN: 1.19, JS: 1.08},
+    "i5_32": {NN: 1.04, NS: 0.81, JN: 1.00, JS: 0.82},
+}
+
+#: Fig. 5(a) — SMT: 2 threads / 1 thread on one core (no TB).
+FIG5_SMT = {
+    "pentium4_130": {"performance": 1.06, "power": 1.06, "energy": 0.98},
+    "i7_45": {"performance": 1.14, "power": 1.15, "energy": 0.97},
+    "atom_45": {"performance": 1.24, "power": 1.10, "energy": 0.86},
+    "i5_32": {"performance": 1.17, "power": 1.10, "energy": 0.89},
+}
+
+#: Fig. 5(b) — SMT energy effect per workload group.
+FIG5_SMT_ENERGY_BY_GROUP = {
+    "pentium4_130": {NN: 1.01, NS: 0.87, JN: 1.11, JS: 0.95},
+    "i7_45": {NN: 1.01, NS: 0.93, JN: 1.03, JS: 0.95},
+    "atom_45": {NN: 1.05, NS: 0.75, JN: 0.91, JS: 0.78},
+    "i5_32": {NN: 1.00, NS: 0.83, JN: 0.96, JS: 0.82},
+}
+
+#: Fig. 7(a) — effect of doubling the clock (percent change).
+FIG7_CLOCK_DOUBLING = {
+    "i7_45": {"performance": 0.83, "power": 1.80, "energy": 0.60},
+    "c2d_45": {"performance": 0.73, "power": 1.59, "energy": 0.56},
+    "i5_32": {"performance": 0.78, "power": 0.73, "energy": -0.04},
+}
+
+#: Fig. 7(b) — energy effect of doubling the clock per group.
+FIG7_CLOCK_ENERGY_BY_GROUP = {
+    "i7_45": {NN: 0.63, NS: 0.68, JN: 0.50, JS: 0.62},
+    "c2d_45": {NN: 0.57, NS: 0.46, JN: 0.45, JS: 0.78},
+    "i5_32": {NN: -0.10, NS: 0.01, JN: -0.05, JS: 0.00},
+}
+
+#: Fig. 8(a) — die shrink at native clocks (new / old).
+FIG8_DIE_SHRINK_NATIVE = {
+    "core": {"performance": 1.25, "power": 0.79, "energy": 0.65},
+    "nehalem": {"performance": 1.14, "power": 0.77, "energy": 0.69},
+}
+
+#: Fig. 8(b) — die shrink at matched clocks (new / old).
+FIG8_DIE_SHRINK_MATCHED = {
+    "core": {"performance": 1.01, "power": 0.55, "energy": 0.54},
+    "nehalem": {"performance": 0.90, "power": 0.53, "energy": 0.60},
+}
+
+#: Fig. 9(a) — gross microarchitecture change (Nehalem / other),
+#: clock- and context-matched.
+FIG9_MICROARCH = {
+    "bonnell": {"performance": 2.70, "power": 2.38, "energy": 0.85},
+    "netburst": {"performance": 2.60, "power": 0.33, "energy": 0.13},
+    "core_45": {"performance": 1.14, "power": 1.14, "energy": 1.00},
+    "core_65": {"performance": 1.14, "power": 0.55, "energy": 0.48},
+}
+
+#: Fig. 10(a) — Turbo Boost enabled / disabled.
+FIG10_TURBO = {
+    "i7_45/4C2T": {"performance": 1.05, "power": 1.19, "energy": 1.19},
+    "i7_45/1C1T": {"performance": 1.07, "power": 1.49, "energy": 1.39},
+    "i5_32/2C2T": {"performance": 1.03, "power": 1.07, "energy": 1.04},
+    "i5_32/1C1T": {"performance": 1.05, "power": 1.05, "energy": 1.00},
+}
+
+#: Fig. 1 — scalability of multithreaded Java, i7 4C2T / 1C1T.
+FIG1_JAVA_SCALABILITY = {
+    "sunflow": 4.3, "xalan": 4.0, "tomcat": 3.7, "lusearch": 3.3,
+    "eclipse": 2.6, "pjbb2005": 2.2, "mtrt": 2.0, "tradebeans": 1.7,
+    "jython": 1.3, "avrora": 1.3, "batik": 1.1, "pmd": 1.1, "h2": 1.0,
+}
+
+#: Fig. 6 — CMP impact on single-threaded Java, i7 2C1T / 1C1T.
+FIG6_ST_JAVA_CMP = {
+    "antlr": 1.55, "luindex": 1.15, "fop": 1.13, "jack": 1.12,
+    "db": 1.30, "bloat": 1.05, "jess": 1.05, "compress": 1.02,
+    "mpegaudio": 1.00, "javac": 1.05,
+}
+
+#: §2.5 — benchmark power extremes on the stock i7 (watts).
+I7_POWER_EXTREMES = {"min": 23.0, "max": 89.0,
+                     "min_benchmark": "omnetpp", "max_benchmark": "fluidanimate"}
+
+#: §3.1 — db's DTLB miss reduction with a second core.
+DB_DTLB_REDUCTION = 2.5
+
+#: Table 5 — Pareto-efficient 45 nm configurations per grouping, in the
+#: paper's column order.  Keys follow this library's Configuration.key.
+TABLE5_PARETO = {
+    "Average": {
+        "atom_45/1C2T@1.66", "i7_45/1C2T@1.6-TB", "i7_45/2C2T@1.6-TB",
+        "i7_45/4C2T@1.6-TB", "i7_45/4C2T@2.13-TB", "i7_45/4C2T@2.66-TB",
+    },
+    NN: {
+        "i7_45/1C1T@2.66-TB", "i7_45/1C1T@2.66+TB", "i7_45/1C2T@1.6-TB",
+        "i7_45/1C2T@2.4-TB",
+    },
+    NS: {
+        "atom_45/1C2T@1.66", "i7_45/2C2T@1.6-TB", "i7_45/4C2T@1.6-TB",
+        "i7_45/4C2T@2.13-TB", "i7_45/4C2T@2.66-TB", "i7_45/4C2T@2.66+TB",
+    },
+    JN: {
+        "atom_45/1C2T@1.66", "c2d_45/2C1T@1.6", "c2d_45/2C1T@3.06",
+        "i7_45/1C2T@1.6-TB", "i7_45/2C1T@1.6-TB", "i7_45/2C2T@1.6-TB",
+        "i7_45/4C1T@2.66-TB",
+    },
+    JS: {
+        "atom_45/1C2T@1.66", "i7_45/1C2T@1.6-TB", "i7_45/2C2T@1.6-TB",
+        "i7_45/4C2T@1.6-TB", "i7_45/4C2T@2.13-TB", "i7_45/4C2T@2.66-TB",
+    },
+}
+
+#: Table 2 — aggregate 95% confidence intervals (relative), average case.
+TABLE2_CI = {
+    "time_average": 0.012, "time_max": 0.022,
+    "power_average": 0.015, "power_max": 0.071,
+}

@@ -1,0 +1,79 @@
+"""Registry: every paper artifact mapped to its regenerating experiment."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.study import Study
+from repro.experiments import (
+    ext_characterization,
+    ext_compilers,
+    ext_dvfs,
+    ext_heap,
+    ext_jvm_vendors,
+    ext_rapl,
+    ext_thermal,
+    ext_whole_system,
+    fig1_java_scalability,
+    fig2_tdp,
+    fig3_diversity,
+    fig4_cmp,
+    fig5_smt,
+    fig6_single_thread_java,
+    fig7_clock,
+    fig8_die_shrink,
+    fig9_microarch,
+    fig10_turbo,
+    fig11_historical,
+    fig12_pareto_frontier,
+    table1_benchmarks,
+    table2_confidence,
+    table3_processors,
+    table4_perf_power,
+    table5_pareto_configs,
+)
+from repro.experiments.base import ExperimentResult
+
+Runner = Callable[[Optional[Study]], ExperimentResult]
+
+EXPERIMENTS: dict[str, Runner] = {
+    "table1": table1_benchmarks.run,
+    "table2": table2_confidence.run,
+    "table3": table3_processors.run,
+    "table4": table4_perf_power.run,
+    "table5": table5_pareto_configs.run,
+    "fig1": fig1_java_scalability.run,
+    "fig2": fig2_tdp.run,
+    "fig3": fig3_diversity.run,
+    "fig4": fig4_cmp.run,
+    "fig5": fig5_smt.run,
+    "fig6": fig6_single_thread_java.run,
+    "fig7": fig7_clock.run,
+    "fig8": fig8_die_shrink.run,
+    "fig9": fig9_microarch.run,
+    "fig10": fig10_turbo.run,
+    "fig11": fig11_historical.run,
+    "fig12": fig12_pareto_frontier.run,
+}
+
+#: Beyond-paper extensions (DESIGN.md §7): future work the paper names,
+#: plus methodology probes.  Kept separate from the paper's artifacts.
+EXTENSIONS: dict[str, Runner] = {
+    "ext_characterization": ext_characterization.run,
+    "ext_dvfs": ext_dvfs.run,
+    "ext_jvm_vendors": ext_jvm_vendors.run,
+    "ext_rapl": ext_rapl.run,
+    "ext_compilers": ext_compilers.run,
+    "ext_heap": ext_heap.run,
+    "ext_whole_system": ext_whole_system.run,
+    "ext_thermal": ext_thermal.run,
+}
+
+
+def run_experiment(experiment_id: str, study: Optional[Study] = None) -> ExperimentResult:
+    """Run one experiment by its paper-artifact id (e.g. ``"fig7"``)."""
+    runner = EXPERIMENTS.get(experiment_id) or EXTENSIONS.get(experiment_id)
+    if runner is None:
+        known = sorted(EXPERIMENTS) + sorted(EXTENSIONS)
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return runner(study)

@@ -1,0 +1,51 @@
+"""Table 1: the benchmark groups and reference running times (§2.1, §2.6).
+
+Regenerates the catalog table and verifies the engine's work calibration:
+each benchmark's mean stock run time across the four reference machines
+must equal its Table 1 reference time.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.statistics import mean
+from repro.core.study import Study
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.catalog import reference_processors
+from repro.hardware.config import stock
+from repro.workloads.catalog import BENCHMARKS
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    engine = study.engine
+    rows = []
+    for benchmark in BENCHMARKS:
+        probe = mean(
+            [
+                engine.ideal(benchmark, stock(spec)).seconds.value
+                for spec in reference_processors()
+            ]
+        )
+        rows.append(
+            {
+                "group": benchmark.group.value,
+                "source": benchmark.suite.value,
+                "name": benchmark.name,
+                "paper_time_s": benchmark.reference_seconds,
+                "measured_reference_time_s": round(probe, 3),
+                "description": benchmark.description,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table1",
+        title="Benchmark groups and reference times",
+        paper_section="Table 1",
+        rows=tuple(rows),
+        notes=(
+            "measured_reference_time_s is the mean noise-free run time over "
+            "the four reference machines; equals the paper column by the "
+            "engine's work calibration.",
+        ),
+    )

@@ -1,0 +1,76 @@
+"""Table 2: aggregate 95 % confidence intervals for time and power (§2.1).
+
+The paper repeats each measurement (3 executions for SPEC, 5 for PARSEC,
+20 JVM invocations for Java) and reports the average and maximum relative
+95 % confidence interval per workload group, aggregated over all processor
+configurations.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.core.statistics import mean
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.config import Configuration
+from repro.hardware.configurations import stock_configurations
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import groups
+
+
+def run(
+    study: Optional[Study] = None,
+    configurations: Optional[Iterable[Configuration]] = None,
+) -> ExperimentResult:
+    """Aggregate CI statistics over ``configurations`` (default: the eight
+    stock machines; pass ``all_configurations()`` for the paper's full
+    sweep)."""
+    study = resolve_study(study)
+    configs = tuple(configurations) if configurations is not None else stock_configurations()
+
+    per_group: dict[Group, dict[str, list[float]]] = {
+        group: {"time": [], "power": []} for group in groups()
+    }
+    for config in configs:
+        for result in study.run_config(config):
+            per_group[result.group]["time"].append(result.time_ci.relative_error)
+            per_group[result.group]["power"].append(result.power_ci.relative_error)
+
+    rows = []
+    all_time: list[float] = []
+    all_power: list[float] = []
+    for group in groups():
+        times = per_group[group]["time"]
+        powers = per_group[group]["power"]
+        all_time.extend(times)
+        all_power.extend(powers)
+        rows.append(
+            {
+                "group": group.value,
+                "time_avg": round(mean(times), 4),
+                "time_max": round(max(times), 4),
+                "power_avg": round(mean(powers), 4),
+                "power_max": round(max(powers), 4),
+            }
+        )
+    rows.insert(
+        0,
+        {
+            "group": "Average",
+            "time_avg": round(mean(all_time), 4),
+            "time_max": round(max(all_time), 4),
+            "power_avg": round(mean(all_power), 4),
+            "power_max": round(max(all_power), 4),
+            "paper_time_avg": paper_data.TABLE2_CI["time_average"],
+            "paper_power_avg": paper_data.TABLE2_CI["power_average"],
+        },
+    )
+    return ExperimentResult(
+        experiment_id="table2",
+        title="Aggregate 95% confidence intervals for time and power",
+        paper_section="Table 2",
+        rows=tuple(rows),
+        notes=(f"aggregated over {len(configs)} configurations",),
+    )

@@ -1,0 +1,40 @@
+"""Table 3: the eight experimental processors and key specifications."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments.base import ExperimentResult
+from repro.hardware.catalog import PROCESSORS
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    rows = []
+    for spec in PROCESSORS:
+        rows.append(
+            {
+                "processor": spec.label,
+                "uarch": spec.family.name,
+                "codename": spec.codename,
+                "sspec": spec.sspec,
+                "release": spec.release,
+                "price_usd": spec.price_usd,
+                "cmp_smt": spec.cmp_smt,
+                "llc_mb": spec.llc_mb,
+                "clock_ghz": round(spec.stock_clock.ghz, 2),
+                "node_nm": spec.node.nanometers,
+                "transistors_m": spec.transistors_m,
+                "die_mm2": spec.die_mm2,
+                "vid_range": spec.vid_range,
+                "tdp_w": spec.tdp_w,
+                "fsb_mhz": spec.memory.fsb_mhz,
+                "dram": spec.memory.dram,
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table3",
+        title="The eight experimental processors and key specifications",
+        paper_section="Table 3",
+        rows=tuple(rows),
+    )

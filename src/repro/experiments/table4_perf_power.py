@@ -1,0 +1,62 @@
+"""Table 4: average performance and power per stock processor (§2.6).
+
+For each of the eight stock machines: group means of speedup-over-
+reference and of measured power, the group-weighted average (Avg_w), the
+simple benchmark average (Avg_b), the extremes, and the within-column
+ranks the paper prints in small italics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aggregation import full_aggregate
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.catalog import PROCESSORS
+from repro.hardware.config import stock
+from repro.workloads.catalog import BENCHMARKS
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    speed_rows: dict[str, dict[str, float]] = {}
+    power_rows: dict[str, dict[str, float]] = {}
+    for spec in PROCESSORS:
+        results = study.run_config(stock(spec))
+        speed_rows[spec.key] = full_aggregate(results.values("speedup"), BENCHMARKS)
+        power_rows[spec.key] = full_aggregate(results.values("watts"), BENCHMARKS)
+
+    speed_rank = _ranks({k: v["Avg_w"] for k, v in speed_rows.items()}, best_high=True)
+    power_rank = _ranks({k: v["Avg_w"] for k, v in power_rows.items()}, best_high=False)
+
+    rows = []
+    for spec in PROCESSORS:
+        speed = speed_rows[spec.key]
+        power = power_rows[spec.key]
+        paper_speed = paper_data.TABLE4_SPEEDUP[spec.key]
+        paper_power = paper_data.TABLE4_POWER[spec.key]
+        row: dict[str, object] = {"processor": spec.label, "key": spec.key}
+        for column, value in speed.items():
+            row[f"speedup:{column}"] = round(value, 2)
+        row["speedup:rank"] = speed_rank[spec.key]
+        row["speedup:paper_Avg_w"] = paper_speed["Avg_w"]
+        row["speedup:paper_rank"] = paper_data.TABLE4_SPEEDUP_RANKS_AVGW[spec.key]
+        for column, value in power.items():
+            row[f"power:{column}"] = round(value, 1)
+        row["power:rank"] = power_rank[spec.key]
+        row["power:paper_Avg_w"] = paper_power["Avg_w"]
+        row["power:paper_rank"] = paper_data.TABLE4_POWER_RANKS_AVGW[spec.key]
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="table4",
+        title="Average performance and power characteristics",
+        paper_section="Table 4",
+        rows=tuple(rows),
+    )
+
+
+def _ranks(values: dict[str, float], best_high: bool) -> dict[str, int]:
+    ordered = sorted(values, key=values.__getitem__, reverse=best_high)
+    return {key: index + 1 for index, key in enumerate(ordered)}

@@ -1,0 +1,79 @@
+"""Table 5: Pareto-efficient 45 nm processor configurations (§4.2).
+
+Expands the four 45 nm processors into the 29-configuration space and
+finds, per workload group and for the average, the configurations no other
+configuration dominates in both aggregate performance and normalised
+energy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.aggregation import group_means, weighted_average
+from repro.core.pareto import TradeoffPoint, pareto_efficient
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.base import ExperimentResult, resolve_study
+from repro.hardware.configurations import node_45nm_configurations
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import BENCHMARKS, groups
+
+#: Column label the paper uses for the across-groups average.
+AVERAGE = "Average"
+
+
+def tradeoff_points(
+    study: Study, grouping: Group | str
+) -> list[TradeoffPoint]:
+    """(performance, energy) per 45 nm configuration for one grouping."""
+    points = []
+    for config in node_45nm_configurations():
+        results = study.run_config(config)
+        speed = group_means(results.values("speedup"), BENCHMARKS)
+        energy = group_means(results.values("normalized_energy"), BENCHMARKS)
+        if grouping == AVERAGE:
+            performance = weighted_average(speed)
+            joules = weighted_average(energy)
+        else:
+            performance = speed[grouping]
+            joules = energy[grouping]
+        points.append(
+            TradeoffPoint(key=config.key, performance=performance, energy=joules)
+        )
+    return points
+
+
+def efficient_keys(study: Study, grouping: Group | str) -> set[str]:
+    """Configuration keys on the Pareto frontier for one grouping."""
+    return {p.key for p in pareto_efficient(tradeoff_points(study, grouping))}
+
+
+def run(study: Optional[Study] = None) -> ExperimentResult:
+    study = resolve_study(study)
+    groupings: list[Group | str] = [AVERAGE, *groups()]
+    rows = []
+    for grouping in groupings:
+        label = grouping if isinstance(grouping, str) else grouping.value
+        measured = efficient_keys(study, grouping)
+        paper_key = grouping if grouping in paper_data.TABLE5_PARETO else None
+        paper_set = paper_data.TABLE5_PARETO.get(paper_key or grouping, set())
+        rows.append(
+            {
+                "grouping": label,
+                "efficient_configurations": tuple(sorted(measured)),
+                "count": len(measured),
+                "paper_configurations": tuple(sorted(paper_set)),
+                "overlap": len(measured & set(paper_set)),
+            }
+        )
+    return ExperimentResult(
+        experiment_id="table5",
+        title="Pareto-efficient processor configurations per benchmark group",
+        paper_section="Table 5",
+        rows=tuple(rows),
+        notes=(
+            "29 configurations of the four 45nm processors; 'overlap' counts "
+            "configurations the reproduction and the paper both mark efficient.",
+        ),
+    )

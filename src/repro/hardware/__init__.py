@@ -1,0 +1,40 @@
+"""Hardware substrate: the eight processors and their structural models.
+
+Public surface:
+
+* :mod:`repro.hardware.catalog` — the Table 3 processors.
+* :class:`repro.hardware.config.Configuration` — a BIOS-style setting.
+* :mod:`repro.hardware.configurations` — the 45-point configuration space.
+"""
+
+from repro.hardware.catalog import (
+    PROCESSORS,
+    PROCESSORS_BY_KEY,
+    processor,
+    reference_processors,
+)
+from repro.hardware.config import (
+    Configuration,
+    UnsupportedConfigurationError,
+    stock,
+)
+from repro.hardware.configurations import (
+    all_configurations,
+    node_45nm_configurations,
+    stock_configurations,
+)
+from repro.hardware.processor import ProcessorSpec
+
+__all__ = [
+    "PROCESSORS",
+    "PROCESSORS_BY_KEY",
+    "Configuration",
+    "ProcessorSpec",
+    "UnsupportedConfigurationError",
+    "all_configurations",
+    "node_45nm_configurations",
+    "processor",
+    "reference_processors",
+    "stock",
+    "stock_configurations",
+]

@@ -1,0 +1,80 @@
+"""Last-level cache model.
+
+The execution model needs one number from the cache hierarchy: LLC misses
+per kilo-instruction for a workload on a given processor configuration.
+Workload signatures record their miss rate at a 4 MB reference LLC
+(:data:`REFERENCE_LLC_MB`); this module rescales it for the actual cache
+size and for sharing between hardware contexts.
+
+The size model is the standard hyperbolic capacity curve: the miss rate is
+proportional to the fraction of the working set that does not fit,
+``footprint / (footprint + capacity)``.  It is smooth, monotone in both
+arguments, and captures the qualitative cliffs that matter here (the 512 KB
+Pentium 4 / Atom caches versus the 8 MB i7/C2Q).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.config import Configuration
+
+#: The LLC size at which workload signatures quote their miss rate.
+REFERENCE_LLC_MB = 4.0
+
+
+def capacity_miss_factor(footprint_mb: float, llc_mb: float) -> float:
+    """Relative miss rate of a working set against a cache size.
+
+    Normalised so the factor is 1.0 at :data:`REFERENCE_LLC_MB`; smaller
+    caches raise it, larger caches lower it, and the factor tends to a
+    finite limit for tiny caches (compulsory + streaming misses dominate).
+    """
+    if footprint_mb < 0:
+        raise ValueError("footprint cannot be negative")
+    if llc_mb <= 0:
+        raise ValueError("cache size must be positive")
+    if footprint_mb < 1e-9:
+        return 1.0  # no cache-resident data: miss rate is all compulsory
+    reference = footprint_mb / (footprint_mb + REFERENCE_LLC_MB)
+    actual = footprint_mb / (footprint_mb + llc_mb)
+    return actual / reference
+
+
+def sharing_pressure(contexts: int) -> float:
+    """Extra capacity pressure from contexts sharing one LLC.
+
+    Co-running threads of the same program share much of their working set,
+    so pressure grows with the square root of the context count rather than
+    linearly.
+    """
+    if contexts < 1:
+        raise ValueError("context count must be >= 1")
+    return float(contexts) ** 0.5
+
+
+@dataclass(frozen=True, slots=True)
+class CacheOutcome:
+    """Resolved cache behaviour for one run."""
+
+    mpki: float
+    effective_llc_mb: float
+
+
+def resolve_mpki(
+    base_mpki: float,
+    footprint_mb: float,
+    config: Configuration,
+    sharing_contexts: int = 1,
+) -> CacheOutcome:
+    """LLC misses per kilo-instruction on ``config``.
+
+    ``base_mpki`` is the workload's rate at the 4 MB reference cache with a
+    single context.  ``sharing_contexts`` is how many software threads are
+    competing for the LLC (1 for a single-threaded run).
+    """
+    if base_mpki < 0:
+        raise ValueError("miss rate cannot be negative")
+    effective_llc = config.spec.llc_mb / sharing_pressure(sharing_contexts)
+    factor = capacity_miss_factor(footprint_mb, effective_llc)
+    return CacheOutcome(mpki=base_mpki * factor, effective_llc_mb=effective_llc)

@@ -1,0 +1,271 @@
+"""The eight experimental processors (Table 3).
+
+Data sheet columns come straight from the paper's Table 3.  Memory latency
+and bandwidth figures are period-typical values for each platform's DRAM and
+interconnect.  The :class:`~repro.hardware.processor.PowerCharacter` values
+are the per-processor calibration described in DESIGN.md §5: they are chosen
+once so that stock-configuration group power lands near the paper's Table 4,
+and everything else (feature deltas, scaling curves, Pareto structure) is
+produced by the structural model.
+"""
+
+from __future__ import annotations
+
+from repro.core.quantities import Hertz
+from repro.hardware.microarch import BONNELL, CORE, NEHALEM, NETBURST
+from repro.hardware.processor import (
+    MemorySystem,
+    PowerCharacter,
+    ProcessorSpec,
+    TurboCapability,
+)
+from repro.hardware.technology import node_for
+
+PENTIUM4_130 = ProcessorSpec(
+    key="pentium4_130",
+    label="Pentium4 (130)",
+    model="Pentium 4",
+    family=NETBURST,
+    codename="Northwood",
+    sspec="SL6WF",
+    release="May '03",
+    price_usd=None,
+    cores=1,
+    threads_per_core=2,
+    llc_mb=0.5,
+    stock_clock=Hertz.from_ghz(2.4),
+    node=node_for(130),
+    transistors_m=55,
+    die_mm2=131,
+    vid_range=None,
+    tdp_w=66,
+    memory=MemorySystem(latency_ns=115.0, bandwidth_gbs=2.0, dram="DDR-400", fsb_mhz=800),
+    power=PowerCharacter(uncore_watts=21.0, core_idle_watts=5.0, core_active_watts=34.0),
+    clock_points_ghz=(2.4,),
+    smp_overhead=0.008,
+)
+
+CORE2DUO_65 = ProcessorSpec(
+    key="c2d_65",
+    label="C2D (65)",
+    model="Core 2 Duo E6600",
+    family=CORE,
+    codename="Conroe",
+    sspec="SL9S8",
+    release="Jul '06",
+    price_usd=316,
+    cores=2,
+    threads_per_core=1,
+    llc_mb=4.0,
+    stock_clock=Hertz.from_ghz(2.4),
+    node=node_for(65),
+    transistors_m=291,
+    die_mm2=143,
+    vid_range=(0.85, 1.50),
+    tdp_w=65,
+    memory=MemorySystem(latency_ns=90.0, bandwidth_gbs=2.5, dram="DDR2-800", fsb_mhz=1066),
+    power=PowerCharacter(uncore_watts=14.5, core_idle_watts=3.0, core_active_watts=6.5),
+    clock_points_ghz=(1.6, 2.4),
+    smp_overhead=0.08,
+)
+
+CORE2QUAD_65 = ProcessorSpec(
+    key="c2q_65",
+    label="C2Q (65)",
+    model="Core 2 Quad Q6600",
+    family=CORE,
+    codename="Kentsfield",
+    sspec="SL9UM",
+    release="Jan '07",
+    price_usd=851,
+    cores=4,
+    threads_per_core=1,
+    llc_mb=8.0,
+    stock_clock=Hertz.from_ghz(2.4),
+    node=node_for(65),
+    transistors_m=582,
+    die_mm2=286,
+    vid_range=(0.85, 1.50),
+    tdp_w=105,
+    # Two dies share one front-side bus: coherence snoops between the
+    # dies eat into the already-modest effective bandwidth.
+    memory=MemorySystem(latency_ns=90.0, bandwidth_gbs=3.6, dram="DDR2-800", fsb_mhz=1066),
+    # Two Conroe dies in one package: twice the uncore floor.
+    power=PowerCharacter(uncore_watts=28.0, core_idle_watts=4.0, core_active_watts=7.5),
+    clock_points_ghz=(1.6, 2.4),
+    smp_overhead=0.05,
+)
+
+CORE_I7_45 = ProcessorSpec(
+    key="i7_45",
+    label="i7 (45)",
+    model="Core i7 920",
+    family=NEHALEM,
+    codename="Bloomfield",
+    sspec="SLBCH",
+    release="Nov '08",
+    price_usd=284,
+    cores=4,
+    threads_per_core=2,
+    llc_mb=8.0,
+    stock_clock=Hertz.from_ghz(2.66),
+    node=node_for(45),
+    transistors_m=731,
+    die_mm2=263,
+    vid_range=(0.80, 1.38),
+    tdp_w=130,
+    memory=MemorySystem(latency_ns=55.0, bandwidth_gbs=10.0, dram="DDR3-1066"),
+    power=PowerCharacter(
+        uncore_watts=4.0,
+        core_idle_watts=2.6,
+        core_active_watts=13.5,
+        turbo_power_per_step=1.21,
+        voltage_swing=0.50,
+        uncore_dynamic_fraction=0.5,
+    ),
+    clock_points_ghz=(1.6, 2.13, 2.4, 2.66),
+    turbo=TurboCapability(step_ghz=0.133, all_core_steps=1, single_core_extra=1),
+    smp_overhead=0.022,
+)
+
+ATOM_45 = ProcessorSpec(
+    key="atom_45",
+    label="Atom (45)",
+    model="Atom 230",
+    family=BONNELL,
+    codename="Diamondville",
+    sspec="SLB6Z",
+    release="Jun '08",
+    price_usd=29,
+    cores=1,
+    threads_per_core=2,
+    llc_mb=0.5,
+    stock_clock=Hertz.from_ghz(1.66),
+    node=node_for(45),
+    transistors_m=47,
+    die_mm2=26,
+    vid_range=(0.90, 1.16),
+    tdp_w=4,
+    memory=MemorySystem(latency_ns=130.0, bandwidth_gbs=1.3, dram="DDR2-800", fsb_mhz=533),
+    power=PowerCharacter(uncore_watts=1.20, core_idle_watts=0.22, core_active_watts=1.22),
+    clock_points_ghz=(1.66,),
+)
+
+CORE2DUO_45 = ProcessorSpec(
+    key="c2d_45",
+    label="C2D (45)",
+    model="Core 2 Duo E7600",
+    family=CORE,
+    codename="Wolfdale",
+    sspec="SLGTD",
+    release="May '09",
+    price_usd=133,
+    cores=2,
+    threads_per_core=1,
+    llc_mb=3.0,
+    stock_clock=Hertz.from_ghz(3.06),
+    node=node_for(45),
+    transistors_m=228,
+    die_mm2=82,
+    vid_range=(0.85, 1.36),
+    tdp_w=65,
+    memory=MemorySystem(latency_ns=82.0, bandwidth_gbs=3.4, dram="DDR2-800", fsb_mhz=1066),
+    power=PowerCharacter(uncore_watts=10.0, core_idle_watts=2.5, core_active_watts=5.0,
+                         voltage_swing=0.75, uncore_dynamic_fraction=0.55),
+    clock_points_ghz=(1.6, 2.4, 3.06),
+    smp_overhead=0.025,
+)
+
+ATOM_D510_45 = ProcessorSpec(
+    key="atomd_45",
+    label="AtomD (45)",
+    model="Atom D510",
+    family=BONNELL,
+    codename="Pineview",
+    sspec="SLBLA",
+    release="Dec '09",
+    price_usd=63,
+    cores=2,
+    threads_per_core=2,
+    llc_mb=1.0,
+    stock_clock=Hertz.from_ghz(1.66),
+    node=node_for(45),
+    transistors_m=176,
+    die_mm2=87,
+    vid_range=(0.80, 1.17),
+    tdp_w=13,
+    memory=MemorySystem(latency_ns=118.0, bandwidth_gbs=2.2, dram="DDR2-800", fsb_mhz=665),
+    # Pineview carries an in-package GPU and memory controller: higher floor.
+    power=PowerCharacter(uncore_watts=2.50, core_idle_watts=0.35, core_active_watts=1.80),
+    clock_points_ghz=(1.66,),
+    smp_overhead=0.015,
+)
+
+CORE_I5_32 = ProcessorSpec(
+    key="i5_32",
+    label="i5 (32)",
+    model="Core i5 670",
+    family=NEHALEM,
+    codename="Clarkdale",
+    sspec="SLBLT",
+    release="Jan '10",
+    price_usd=284,
+    cores=2,
+    threads_per_core=2,
+    llc_mb=4.0,
+    stock_clock=Hertz.from_ghz(3.46),
+    node=node_for(32),
+    transistors_m=382,
+    die_mm2=81,
+    vid_range=(0.65, 1.40),
+    tdp_w=73,
+    memory=MemorySystem(latency_ns=66.0, bandwidth_gbs=10.0, dram="DDR3-1333"),
+    power=PowerCharacter(
+        uncore_watts=10.0,
+        core_idle_watts=1.5,
+        core_active_watts=10.5,
+        turbo_power_per_step=1.025,
+        voltage_swing=0.25,
+        uncore_dynamic_fraction=0.30,
+    ),
+    clock_points_ghz=(1.2, 1.87, 2.4, 2.66, 3.46),
+    turbo=TurboCapability(step_ghz=0.133, all_core_steps=1, single_core_extra=1),
+    platform_efficiency=0.88,
+    smp_overhead=0.025,
+)
+
+#: All eight processors in the paper's Table 3 order.
+PROCESSORS: tuple[ProcessorSpec, ...] = (
+    PENTIUM4_130,
+    CORE2DUO_65,
+    CORE2QUAD_65,
+    CORE_I7_45,
+    ATOM_45,
+    CORE2DUO_45,
+    ATOM_D510_45,
+    CORE_I5_32,
+)
+
+PROCESSORS_BY_KEY = {spec.key: spec for spec in PROCESSORS}
+
+#: The four machines used to define reference time and energy (§2.6): one
+#: per microarchitecture and one per technology generation.
+REFERENCE_PROCESSOR_KEYS = ("pentium4_130", "c2d_65", "atom_45", "i5_32")
+
+#: The 45 nm parts used for the Pareto analysis (§4.2).
+NODE_45NM_KEYS = ("atom_45", "atomd_45", "c2d_45", "i7_45")
+
+
+def processor(key: str) -> ProcessorSpec:
+    """Look up a processor by its stable key (e.g. ``"i7_45"``)."""
+    try:
+        return PROCESSORS_BY_KEY[key]
+    except KeyError:
+        raise KeyError(
+            f"unknown processor {key!r}; known: {sorted(PROCESSORS_BY_KEY)}"
+        ) from None
+
+
+def reference_processors() -> tuple[ProcessorSpec, ...]:
+    """The four normalisation-reference machines of §2.6."""
+    return tuple(processor(key) for key in REFERENCE_PROCESSOR_KEYS)

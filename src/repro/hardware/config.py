@@ -1,0 +1,147 @@
+"""BIOS-style processor configuration (§2.8).
+
+The paper controls architectural variables by configuring each processor at
+the BIOS: disabling cores, disabling SMT, down-clocking, and disabling Turbo
+Boost.  :class:`Configuration` captures one such setting and validates it
+against the processor's capabilities, exactly as the firmware would refuse
+an unsupported combination.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.quantities import Hertz, Volts
+from repro.hardware.processor import ProcessorSpec
+
+
+class UnsupportedConfigurationError(ValueError):
+    """Raised for a configuration the processor cannot express."""
+
+
+@dataclass(frozen=True, slots=True)
+class Configuration:
+    """One experimental processor configuration.
+
+    ``threads_per_core`` is 1 (SMT disabled) or the processor's native SMT
+    width; ``clock_ghz`` must be one of the part's selectable operating
+    points; ``turbo_enabled`` is only meaningful at the top clock, matching
+    §3.6 ("Turbo Boost is only enabled when the processor executes at its
+    default highest clock setting").
+    """
+
+    spec: ProcessorSpec
+    active_cores: int
+    threads_per_core: int
+    clock_ghz: float
+    turbo_enabled: bool = False
+
+    def __post_init__(self) -> None:
+        spec = self.spec
+        if not 1 <= self.active_cores <= spec.cores:
+            raise UnsupportedConfigurationError(
+                f"{spec.label} has {spec.cores} cores; cannot enable "
+                f"{self.active_cores}"
+            )
+        if self.threads_per_core not in (1, spec.threads_per_core):
+            raise UnsupportedConfigurationError(
+                f"{spec.label} supports 1 or {spec.threads_per_core} threads "
+                f"per core; got {self.threads_per_core}"
+            )
+        if not spec.supports_clock(self.clock_ghz):
+            raise UnsupportedConfigurationError(
+                f"{spec.label} has no {self.clock_ghz} GHz operating point "
+                f"(available: {spec.clock_points_ghz})"
+            )
+        if self.turbo_enabled:
+            if not spec.has_turbo:
+                raise UnsupportedConfigurationError(
+                    f"{spec.label} has no Turbo Boost"
+                )
+            if abs(self.clock_ghz - spec.stock_clock.ghz) > 1e-9:
+                raise UnsupportedConfigurationError(
+                    "Turbo Boost is only available at the stock clock"
+                )
+
+    # -- identity -----------------------------------------------------------
+
+    @property
+    def key(self) -> str:
+        """Stable identifier, e.g. ``i7_45/4C2T@2.66``."""
+        turbo = "+TB" if self.turbo_enabled else ""
+        if self.spec.has_turbo and not self.turbo_enabled:
+            turbo = "-TB"
+        return (
+            f"{self.spec.key}/{self.active_cores}C{self.threads_per_core}T"
+            f"@{self.clock_ghz:g}{turbo}"
+        )
+
+    @property
+    def label(self) -> str:
+        """Display label in the paper's Table 5 style."""
+        turbo = ""
+        if self.spec.has_turbo and not self.turbo_enabled:
+            turbo = " No TB"
+        return (
+            f"{self.spec.label} {self.active_cores}C{self.threads_per_core}T"
+            f"@{self.clock_ghz:g}GHz{turbo}"
+        )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def hardware_contexts(self) -> int:
+        return self.active_cores * self.threads_per_core
+
+    @property
+    def smt_enabled(self) -> bool:
+        return self.threads_per_core > 1
+
+    @property
+    def clock(self) -> Hertz:
+        return Hertz.from_ghz(self.clock_ghz)
+
+    @property
+    def is_stock(self) -> bool:
+        """Whether this is the as-shipped configuration of the part."""
+        spec = self.spec
+        return (
+            self.active_cores == spec.cores
+            and self.threads_per_core == spec.threads_per_core
+            and abs(self.clock_ghz - spec.stock_clock.ghz) < 1e-9
+            and self.turbo_enabled == spec.has_turbo
+        )
+
+    def voltage(self) -> Volts:
+        return self.spec.voltage_at(self.clock)
+
+    # -- derivation helpers -------------------------------------------------
+
+    def with_cores(self, active_cores: int) -> "Configuration":
+        return replace(self, active_cores=active_cores)
+
+    def without_smt(self) -> "Configuration":
+        return replace(self, threads_per_core=1)
+
+    def with_smt(self) -> "Configuration":
+        return replace(self, threads_per_core=self.spec.threads_per_core)
+
+    def at_clock(self, clock_ghz: float) -> "Configuration":
+        turbo = self.turbo_enabled and abs(
+            clock_ghz - self.spec.stock_clock.ghz
+        ) < 1e-9
+        return replace(self, clock_ghz=clock_ghz, turbo_enabled=turbo)
+
+    def without_turbo(self) -> "Configuration":
+        return replace(self, turbo_enabled=False)
+
+
+def stock(spec: ProcessorSpec) -> Configuration:
+    """The as-shipped configuration of ``spec`` (§2.8 'stock')."""
+    return Configuration(
+        spec=spec,
+        active_cores=spec.cores,
+        threads_per_core=spec.threads_per_core,
+        clock_ghz=spec.stock_clock.ghz,
+        turbo_enabled=spec.has_turbo,
+    )

@@ -1,0 +1,91 @@
+"""OS-level context scaling — and why the paper rejected it (§2.8).
+
+"We experimented with operating system configuration, which is far more
+convenient, but it was not sufficiently reliable.  For example, operating
+system scaling of hardware contexts often caused power consumption to
+increase as hardware resources were decreased!  Extensive investigation
+revealed a bug in the Linux kernel."
+
+This module models the era's ``/sys/devices/system/cpu/cpuN/online``
+path with that bug: offlining a context migrates its load but (on the
+affected kernel) leaves the sibling's idle state machinery confused, so
+the remaining contexts never enter deep idle — power goes *up* as
+resources go *down*.  It exists so the methodological choice (BIOS
+configuration) is testable rather than folklore, and so the harness can
+demonstrate the anomaly the authors chased.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantities import Watts
+from repro.execution.engine import Execution, ExecutionEngine
+from repro.hardware.config import Configuration
+from repro.workloads.benchmark import Benchmark
+
+#: Extra package power when the buggy kernel keeps offlined contexts'
+#: siblings out of deep idle (fraction of the offlined cores' idle power
+#: that keeps burning, plus polling overhead on the remaining cores).
+_BUGGY_IDLE_LEAK = 2.6
+
+
+@dataclass(frozen=True)
+class OsContextScaling:
+    """CPU hotplug as the 2.6.31-era kernel delivered it.
+
+    ``buggy`` reproduces the measured anomaly; ``buggy=False`` models a
+    fixed kernel (which behaves like BIOS configuration, minus the
+    firmware-level resource release).
+    """
+
+    engine: ExecutionEngine
+    buggy: bool = True
+
+    def run_with_offlined_cores(
+        self,
+        benchmark: Benchmark,
+        stock_config: Configuration,
+        online_cores: int,
+    ) -> tuple[Execution, Watts]:
+        """Execute with cores offlined via the OS instead of the BIOS.
+
+        Returns the execution (timing is unaffected by the bug) and the
+        package power the buggy kernel actually produces.
+        """
+        if not 1 <= online_cores <= stock_config.spec.cores:
+            raise ValueError("online core count outside the package")
+        os_config = stock_config.with_cores(online_cores).without_turbo()
+        execution = self.engine.ideal(benchmark, os_config)
+        if not self.buggy or online_cores == stock_config.spec.cores:
+            return execution, execution.average_power
+
+        offlined = stock_config.spec.cores - online_cores
+        # The offlined cores' idle machinery never settles: their idle
+        # power keeps burning at a multiple, visible at the package.
+        leak = (
+            stock_config.spec.power.core_idle_watts
+            * offlined
+            * _BUGGY_IDLE_LEAK
+        )
+        return execution, Watts(execution.average_power.value + leak)
+
+
+def anomaly_demonstration(
+    engine: ExecutionEngine,
+    benchmark: Benchmark,
+    stock_config: Configuration,
+) -> dict[str, float]:
+    """The §2.8 observation in numbers: power per online-core count.
+
+    With the buggy kernel, *fewer* online cores can mean *more* power —
+    the inversion that sent the authors to the BIOS.
+    """
+    scaler = OsContextScaling(engine=engine, buggy=True)
+    readings = {}
+    for online in range(stock_config.spec.cores, 0, -1):
+        _, watts = scaler.run_with_offlined_cores(
+            benchmark, stock_config, online
+        )
+        readings[f"{online} cores online"] = round(watts.value, 2)
+    return readings

@@ -1,0 +1,115 @@
+"""Per-structure package power model.
+
+Package power decomposes into:
+
+* an **uncore floor** — interconnect, memory controller / FSB interface,
+  in-package GPU where present, PLLs, and baseline leakage; paid whenever
+  the package is powered;
+* a **per-enabled-core idle** component — clock distribution and leakage of
+  a core the BIOS has not disabled;
+* a **per-busy-core active** component — switching power, scaling with
+  voltage squared, frequency, the core's achieved issue utilisation, and
+  the workload's intrinsic switching activity.
+
+The three coefficients per processor are the calibrated
+:class:`~repro.hardware.processor.PowerCharacter` (DESIGN.md §5).  Dynamic
+parts scale as ``(V_eff / V_stock)^2 * (f / f_stock)``; ``V_eff`` traverses
+only ``voltage_swing`` of the published VID span, which is how the model
+expresses the i5 (32)'s unusually flat power-versus-clock curve
+(Architecture Finding 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantities import Watts
+from repro.hardware.config import Configuration
+from repro.hardware.turbo import TurboState, power_multiplier
+
+
+def voltage_scale(config: Configuration) -> float:
+    """``(V_eff / V_stock)^2`` for the configured clock.
+
+    The effective voltage interpolates across ``voltage_swing`` of the VID
+    span between the part's lowest and stock clocks.
+    """
+    spec = config.spec
+    points = spec.clock_points_ghz
+    low, high = points[0], points[-1]
+    if high == low:
+        return 1.0
+    position = (config.clock_ghz - low) / (high - low)
+    position = min(max(position, 0.0), 1.0)
+    if spec.vid_range is None:
+        relative_span = 0.0
+    else:
+        v_min, v_max = spec.vid_range
+        relative_span = 1.0 - v_min / v_max
+    v_ratio = 1.0 - spec.power.voltage_swing * (1.0 - position) * relative_span
+    return v_ratio * v_ratio
+
+
+def frequency_scale(config: Configuration) -> float:
+    """``f / f_stock`` for the configured clock."""
+    return config.clock_ghz / config.spec.clock_points_ghz[-1]
+
+
+@dataclass(frozen=True, slots=True)
+class PowerBreakdown:
+    """Package power for one run, by structure."""
+
+    uncore: Watts
+    core_idle: Watts
+    core_active: Watts
+    turbo_multiplier: float
+
+    @property
+    def total(self) -> Watts:
+        base = self.uncore.value + self.core_idle.value + self.core_active.value
+        return Watts(base * self.turbo_multiplier)
+
+
+def package_power(
+    config: Configuration,
+    busy_cores: float,
+    core_utilisation: float,
+    activity: float,
+    turbo: TurboState,
+) -> PowerBreakdown:
+    """Average package power for a run.
+
+    ``busy_cores`` may be fractional (a core busy for half the run counts
+    half).  ``core_utilisation`` is achieved issue slots over peak — a
+    memory-bound workload switches less logic per cycle and so draws less
+    power (§2.5: 471.omnetpp at 23 W versus fluidanimate at 89 W on the
+    i7).  ``activity`` is the workload's intrinsic switching factor around
+    1.0 (FP-dense code is high, pointer chasing low).
+    """
+    if busy_cores < 0 or busy_cores > config.active_cores:
+        raise ValueError(
+            f"busy cores {busy_cores} outside [0, {config.active_cores}]"
+        )
+    if not 0.0 <= core_utilisation <= 1.0:
+        raise ValueError("core utilisation must be in [0, 1]")
+    if activity <= 0:
+        raise ValueError("activity must be positive")
+    character = config.spec.power
+    dynamic_scale = voltage_scale(config) * frequency_scale(config)
+    uncore_dyn = character.uncore_dynamic_fraction
+    uncore = Watts(
+        character.uncore_watts * (1.0 - uncore_dyn + uncore_dyn * dynamic_scale)
+    )
+    idle = Watts(character.core_idle_watts * config.active_cores * dynamic_scale)
+    # Busy cores never drop to zero draw even when fully stalled: clocks
+    # still toggle.  Blend a 35 % floor with utilisation-driven switching.
+    effective_switching = activity * (0.35 + 0.65 * core_utilisation)
+    active = Watts(
+        character.core_active_watts * busy_cores * dynamic_scale * effective_switching
+    )
+    return PowerBreakdown(
+        uncore=uncore,
+        core_idle=idle,
+        core_active=active,
+        turbo_multiplier=power_multiplier(config, turbo),
+    )

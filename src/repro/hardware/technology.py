@@ -1,0 +1,101 @@
+"""Process-technology physics: 130 nm through 32 nm.
+
+The paper spans four process nodes (§1, Table 3).  This module captures the
+node-level scaling facts the power model needs:
+
+* a nominal supply voltage per node (Dennard scaling slowed over this
+  period, so voltage drops far less than feature size);
+* an effective switched-capacitance scale per transistor (shrinks with
+  feature size);
+* a leakage scale per transistor (grows relative to dynamic power at
+  smaller nodes — the post-Dennard effect Le Sueur & Heiser observed).
+
+Voltage at a given operating frequency interpolates linearly across the
+processor's VID range (Table 3 publishes the ranges), which is how real
+desktop DVFS tables behave to first order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantities import Hertz, Volts
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessNode:
+    """One CMOS process generation."""
+
+    nanometers: int
+    nominal_voltage: Volts
+    #: Effective switched capacitance per transistor, relative to 130 nm.
+    capacitance_scale: float
+    #: Static (leakage) power per transistor at nominal voltage, relative
+    #: to 130 nm.  Rises as a *fraction of total power* at small nodes.
+    leakage_scale: float
+
+    def __post_init__(self) -> None:
+        if self.nanometers <= 0:
+            raise ValueError("process node must be positive")
+        if self.capacitance_scale <= 0 or self.leakage_scale <= 0:
+            raise ValueError("scaling factors must be positive")
+
+
+#: The four nodes of the study.  Capacitance roughly halves per full node
+#: shrink; leakage per transistor stays roughly flat in absolute terms,
+#: which makes it a growing *share* as dynamic energy falls.
+NODE_130NM = ProcessNode(130, Volts(1.50), capacitance_scale=1.00, leakage_scale=1.00)
+NODE_65NM = ProcessNode(65, Volts(1.25), capacitance_scale=0.42, leakage_scale=1.15)
+NODE_45NM = ProcessNode(45, Volts(1.10), capacitance_scale=0.26, leakage_scale=1.30)
+NODE_32NM = ProcessNode(32, Volts(1.00), capacitance_scale=0.17, leakage_scale=1.45)
+
+NODES = {
+    130: NODE_130NM,
+    65: NODE_65NM,
+    45: NODE_45NM,
+    32: NODE_32NM,
+}
+
+
+def node_for(nanometers: int) -> ProcessNode:
+    """Look up the :class:`ProcessNode` for a feature size in nanometers."""
+    try:
+        return NODES[nanometers]
+    except KeyError:
+        raise KeyError(
+            f"unknown process node {nanometers} nm; the study covers {sorted(NODES)}"
+        ) from None
+
+
+@dataclass(frozen=True, slots=True)
+class VoltageCurve:
+    """Linear VID interpolation between a processor's frequency extremes.
+
+    Real processors publish a VID range (Table 3) and walk through it as
+    frequency scales.  Below ``f_min`` the curve clamps at ``v_min`` and
+    above ``f_max`` (Turbo Boost territory) it extrapolates, which is why
+    Turbo steps are disproportionately expensive in power (§3.6).
+    """
+
+    v_min: Volts
+    v_max: Volts
+    f_min: Hertz
+    f_max: Hertz
+
+    def __post_init__(self) -> None:
+        if self.f_max.value < self.f_min.value:
+            raise ValueError("f_max must be >= f_min")
+        if self.v_max.value < self.v_min.value:
+            raise ValueError("v_max must be >= v_min")
+
+    def voltage_at(self, frequency: Hertz) -> Volts:
+        if frequency.value <= 0:
+            raise ValueError("frequency must be positive")
+        if self.f_max.value == self.f_min.value:
+            return self.v_max
+        fraction = (frequency.value - self.f_min.value) / (
+            self.f_max.value - self.f_min.value
+        )
+        fraction = max(fraction, 0.0)  # clamp below the DVFS floor
+        span = self.v_max.value - self.v_min.value
+        return Volts(self.v_min.value + fraction * span)

@@ -1,0 +1,60 @@
+"""Turbo Boost semantics (§3.6).
+
+With Turbo Boost enabled, all active cores run one 133 MHz step above the
+base clock when temperature, power, and current allow; with a single active
+core the part may add one more step.  The paper verified both behaviours
+empirically on the i7 (45) and i5 (32).  Boost only engages at the stock
+(highest) clock setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.quantities import Hertz
+from repro.hardware.config import Configuration
+
+
+@dataclass(frozen=True, slots=True)
+class TurboState:
+    """Resolved Turbo Boost outcome for one run."""
+
+    steps: int
+    frequency: Hertz
+
+    @property
+    def engaged(self) -> bool:
+        return self.steps > 0
+
+
+def resolve(config: Configuration, busy_cores: int) -> TurboState:
+    """Clock the configuration actually runs at, given active load.
+
+    ``busy_cores`` is the number of cores with at least one runnable thread;
+    the single-core bonus step applies only when exactly one core is busy
+    (idle-but-enabled cores are power gated on Nehalem and do not count).
+    """
+    if busy_cores < 0:
+        raise ValueError("busy core count cannot be negative")
+    base = config.clock
+    if not config.turbo_enabled or config.spec.turbo is None or busy_cores == 0:
+        return TurboState(steps=0, frequency=base)
+    capability = config.spec.turbo
+    steps = capability.all_core_steps
+    if busy_cores == 1:
+        steps += capability.single_core_extra
+    boosted = Hertz.from_ghz(base.ghz + steps * capability.step_ghz)
+    return TurboState(steps=steps, frequency=boosted)
+
+
+def power_multiplier(config: Configuration, state: TurboState) -> float:
+    """Package-level power multiplier for an engaged boost.
+
+    The paper measures the boost cost directly (Fig. 10): roughly +19 % per
+    step on the i7 (45) and roughly +2.5 % per step on the i5 (32).  The
+    per-processor per-step factor lives in
+    :class:`~repro.hardware.processor.PowerCharacter`.
+    """
+    if not state.engaged:
+        return 1.0
+    return config.spec.power.turbo_power_per_step ** state.steps

@@ -1,0 +1,28 @@
+"""Measurement substrate: the Hall-effect sensor pipeline of §2.5."""
+
+from repro.measurement.calibration import (
+    CalibrationError,
+    SensorCalibration,
+    calibrate,
+    reference_currents,
+)
+from repro.measurement.logger import DataLogger, LoggedRun, SAMPLE_RATE_HZ
+from repro.measurement.meter import Measurement, PowerMeter, meter_for
+from repro.measurement.sensor import HallEffectSensor, sensor_for_processor
+from repro.measurement.supply import ProcessorSupply
+
+__all__ = [
+    "CalibrationError",
+    "DataLogger",
+    "HallEffectSensor",
+    "LoggedRun",
+    "Measurement",
+    "PowerMeter",
+    "ProcessorSupply",
+    "SAMPLE_RATE_HZ",
+    "SensorCalibration",
+    "calibrate",
+    "meter_for",
+    "reference_currents",
+    "sensor_for_processor",
+]

@@ -1,0 +1,100 @@
+"""End-to-end power measurement (§2.5).
+
+"We execute each benchmark, log its measured power values, and then compute
+the average power consumption over the duration of the benchmark."
+
+:class:`PowerMeter` assembles the full physical pipeline — isolated 12 V
+rail, Hall-effect sensor, 50 Hz logger, per-sensor calibration — and turns
+an :class:`~repro.execution.engine.Execution` into the measured average
+power the analyses consume.  Meters are built once per machine, mirroring
+the physical setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.quantities import Watts
+from repro.execution.engine import Execution
+from repro.execution.trace import trace_of
+from repro.hardware.processor import ProcessorSpec
+from repro.measurement.calibration import SensorCalibration, calibrate
+from repro.measurement.logger import DataLogger, LoggedRun
+from repro.measurement.sensor import HallEffectSensor, sensor_for_processor
+from repro.measurement.supply import ProcessorSupply
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One measured run: the quantities the paper's dataset records."""
+
+    average_watts: float
+    sample_count: int
+    seconds: float
+
+    @property
+    def average_power(self) -> Watts:
+        return Watts(self.average_watts)
+
+    @property
+    def energy_joules(self) -> float:
+        return self.average_watts * self.seconds
+
+
+class PowerMeter:
+    """The measurement rig attached to one experimental machine."""
+
+    def __init__(self, spec: ProcessorSpec) -> None:
+        self._spec = spec
+        self._sensor = sensor_for_processor(spec.key, max_power_watts=spec.tdp_w)
+        self._supply = ProcessorSupply(machine_key=spec.key)
+        self._logger = DataLogger(sensor=self._sensor, supply=self._supply)
+        self._calibration = calibrate(self._sensor)
+
+    @property
+    def spec(self) -> ProcessorSpec:
+        return self._spec
+
+    @property
+    def sensor(self) -> HallEffectSensor:
+        return self._sensor
+
+    @property
+    def calibration(self) -> SensorCalibration:
+        return self._calibration
+
+    def measure(self, execution: Execution, run_salt: str = "run0") -> Measurement:
+        """Measure one execution: log at 50 Hz, calibrate codes back to
+        amperes, convert to watts on the nominal rail, and average."""
+        if execution.config.spec.key != self._spec.key:
+            raise ValueError(
+                f"meter is attached to {self._spec.key}, not "
+                f"{execution.config.spec.key}"
+            )
+        trace = trace_of(execution)
+        logged = self._logger.log(trace, run_salt=run_salt)
+        watts = self._watts_from(logged)
+        return Measurement(
+            average_watts=float(np.mean(watts)),
+            sample_count=logged.sample_count,
+            seconds=execution.seconds.value,
+        )
+
+    def _watts_from(self, logged: LoggedRun) -> np.ndarray:
+        fit = self._calibration.fit
+        amps = (logged.codes.astype(float) - fit.intercept) / fit.slope
+        return amps * self._supply.nominal.value
+
+
+_METERS: dict[str, PowerMeter] = {}
+
+
+def meter_for(spec: ProcessorSpec) -> PowerMeter:
+    """The process-wide meter for a machine (built and calibrated once)."""
+    meter = _METERS.get(spec.key)
+    if meter is None:
+        meter = PowerMeter(spec)
+        _METERS[spec.key] = meter
+    return meter

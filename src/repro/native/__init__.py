@@ -1,0 +1,14 @@
+"""Native toolchain substrate: icc/gcc models and AOT binaries."""
+
+from repro.native.binary import NATIVE_VARIABILITY, NativeBinary, binary_for
+from repro.native.compiler import CodeQuality, Toolchain, effective_ilp, quality_of
+
+__all__ = [
+    "CodeQuality",
+    "NATIVE_VARIABILITY",
+    "NativeBinary",
+    "Toolchain",
+    "binary_for",
+    "effective_ilp",
+    "quality_of",
+]

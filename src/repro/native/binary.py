@@ -1,0 +1,39 @@
+"""Compiled-binary model for native benchmarks.
+
+A native benchmark is an ahead-of-time binary: its toolchain is fixed by
+suite (§2.1 — icc for SPEC CPU2006, gcc for PARSEC), it runs no runtime
+services, and it replays near-deterministically (the paper needs only 3-5
+executions versus 20 JVM invocations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.native.compiler import Toolchain
+from repro.workloads.benchmark import Benchmark, Suite
+
+#: Run-to-run coefficient of variation of a native binary (OS jitter only).
+NATIVE_VARIABILITY = 0.004
+
+
+@dataclass(frozen=True, slots=True)
+class NativeBinary:
+    """A benchmark as built by its suite's toolchain."""
+
+    benchmark: Benchmark
+    toolchain: Toolchain
+
+    @property
+    def variability(self) -> float:
+        return NATIVE_VARIABILITY
+
+
+def binary_for(benchmark: Benchmark) -> NativeBinary:
+    """Build description for a native benchmark (suite decides toolchain)."""
+    if benchmark.managed:
+        raise ValueError(f"{benchmark.name} is managed; it has no AOT binary")
+    toolchain = (
+        Toolchain.GCC if benchmark.suite is Suite.PARSEC else Toolchain.ICC
+    )
+    return NativeBinary(benchmark=benchmark, toolchain=toolchain)

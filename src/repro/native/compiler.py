@@ -1,0 +1,66 @@
+"""Native toolchain models (§2.1).
+
+The paper compiles SPEC CPU2006 with icc 11.1 -o3 (one binary for all
+platforms, no microarchitecture-specific tuning) and PARSEC with its
+default gcc 4.4.1 -O3 build scripts (icc miscompiled several PARSEC
+codes).  Java code is compiled by the JIT, which *may* emit
+microarchitecture-specific code (§2.2).
+
+A toolchain contributes one number to the execution model: a code-quality
+factor on attained ILP.  icc's scalar optimiser measurably beats gcc on
+SPEC-style code — the paper chose icc because it "consistently generated
+better performing code".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Toolchain(enum.Enum):
+    ICC = "icc 11.1 -o3"
+    GCC = "gcc 4.4.1 -O3"
+    JIT = "HotSpot server JIT"
+
+
+@dataclass(frozen=True, slots=True)
+class CodeQuality:
+    """How well a toolchain's output exploits a core."""
+
+    #: Multiplier on the workload's exploitable ILP.
+    ilp_factor: float
+    #: Whether code is specialised to the running microarchitecture
+    #: (dynamic compilers can; the paper's fixed native binaries cannot).
+    microarch_specific: bool
+
+    def __post_init__(self) -> None:
+        if self.ilp_factor <= 0:
+            raise ValueError("ILP factor must be positive")
+
+
+_QUALITY = {
+    Toolchain.ICC: CodeQuality(ilp_factor=1.00, microarch_specific=False),
+    Toolchain.GCC: CodeQuality(ilp_factor=0.96, microarch_specific=False),
+    # The JIT trades a little peak scalar quality for portability but can
+    # schedule for the actual pipeline it runs on.
+    Toolchain.JIT: CodeQuality(ilp_factor=0.95, microarch_specific=True),
+}
+
+#: Uplift a microarchitecture-specific compile gets over a generic binary.
+MICROARCH_TUNING_BONUS = 1.02
+
+
+def quality_of(toolchain: Toolchain) -> CodeQuality:
+    return _QUALITY[toolchain]
+
+
+def effective_ilp(toolchain: Toolchain, workload_ilp: float) -> float:
+    """Exploitable ILP of a workload as compiled by ``toolchain``."""
+    if workload_ilp < 1.0:
+        raise ValueError("workload ILP must be >= 1.0")
+    quality = quality_of(toolchain)
+    ilp = workload_ilp * quality.ilp_factor
+    if quality.microarch_specific:
+        ilp *= MICROARCH_TUNING_BONUS
+    return max(ilp, 1.0)

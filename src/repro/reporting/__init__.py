@@ -1,0 +1,17 @@
+"""Presentation helpers: text tables for experiment results."""
+
+from repro.reporting.tables import (
+    format_cell,
+    print_experiment,
+    render_experiment,
+    render_many,
+    render_rows,
+)
+
+__all__ = [
+    "format_cell",
+    "print_experiment",
+    "render_experiment",
+    "render_many",
+    "render_rows",
+]

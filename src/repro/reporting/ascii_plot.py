@@ -1,0 +1,107 @@
+"""Terminal scatter plots for the paper's figures.
+
+The benchmark harness prints tables, but several paper artifacts are
+inherently scatter plots (Fig. 2's power-vs-TDP, Fig. 3's diversity,
+Fig. 11's historical overview, Fig. 12's frontiers).  This module renders
+them as fixed-width character plots — enough to *see* the shapes the
+integration tests assert.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One plotted series: points plus the glyph that marks them."""
+
+    label: str
+    points: Sequence[tuple[float, float]]
+    marker: str
+
+    def __post_init__(self) -> None:
+        if len(self.marker) != 1:
+            raise ValueError("marker must be a single character")
+        if not self.points:
+            raise ValueError(f"series {self.label!r} has no points")
+
+
+def _transform(value: float, low: float, high: float, log: bool) -> float:
+    if log:
+        return (math.log10(value) - math.log10(low)) / (
+            math.log10(high) - math.log10(low)
+        )
+    return (value - low) / (high - low)
+
+
+def scatter(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 20,
+    x_label: str = "",
+    y_label: str = "",
+    log_x: bool = False,
+    log_y: bool = False,
+    x_range: Optional[tuple[float, float]] = None,
+    y_range: Optional[tuple[float, float]] = None,
+) -> str:
+    """Render series as a character scatter plot with axes and a legend."""
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 6:
+        raise ValueError("plot too small to be legible")
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_lo, x_hi = x_range if x_range else (min(xs), max(xs))
+    y_lo, y_hi = y_range if y_range else (min(ys), max(ys))
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo * 0.9 or -1.0, x_hi * 1.1 or 1.0
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo * 0.9 or -1.0, y_hi * 1.1 or 1.0
+    if log_x and x_lo <= 0 or log_y and y_lo <= 0:
+        raise ValueError("log axes need positive data")
+
+    grid = [[" "] * width for _ in range(height)]
+    for one in series:
+        for x, y in one.points:
+            fx = _transform(x, x_lo, x_hi, log_x)
+            fy = _transform(y, y_lo, y_hi, log_y)
+            if not (0.0 <= fx <= 1.0 and 0.0 <= fy <= 1.0):
+                continue  # out of explicit range
+            column = min(int(fx * (width - 1)), width - 1)
+            row = height - 1 - min(int(fy * (height - 1)), height - 1)
+            cell = grid[row][column]
+            grid[row][column] = one.marker if cell in (" ", one.marker) else "*"
+
+    lines = []
+    y_hi_text = f"{y_hi:.3g}"
+    y_lo_text = f"{y_lo:.3g}"
+    margin = max(len(y_hi_text), len(y_lo_text)) + 1
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = y_hi_text.rjust(margin)
+        elif index == height - 1:
+            prefix = y_lo_text.rjust(margin)
+        else:
+            prefix = " " * margin
+        lines.append(f"{prefix}|{''.join(row)}")
+    axis = " " * margin + "+" + "-" * width
+    lines.append(axis)
+    x_lo_text, x_hi_text = f"{x_lo:.3g}", f"{x_hi:.3g}"
+    gap = width - len(x_lo_text) - len(x_hi_text)
+    lines.append(" " * (margin + 1) + x_lo_text + " " * max(gap, 1) + x_hi_text)
+    scale = []
+    if log_x:
+        scale.append("log x")
+    if log_y:
+        scale.append("log y")
+    caption = f"x: {x_label}   y: {y_label}"
+    if scale:
+        caption += f"   ({', '.join(scale)})"
+    lines.append(caption)
+    legend = "   ".join(f"{s.marker}={s.label}" for s in series)
+    lines.append(legend + "   *=overlap")
+    return "\n".join(lines)

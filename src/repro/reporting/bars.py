@@ -1,0 +1,82 @@
+"""Horizontal bar charts, the paper's dominant figure idiom.
+
+Figures 4, 5, 7(a/b), 8, 9, and 10 are grouped bar charts of ratios
+around 1.0.  This module renders labelled value bars and stacked bars
+(for CPI and power attribution) as fixed-width text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 50,
+    baseline: float = 0.0,
+    unit: str = "",
+) -> str:
+    """Render labelled horizontal bars.
+
+    ``baseline`` draws bars from a reference value (the feature charts
+    use 1.0 so costs and savings point opposite ways).
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    if width < 10:
+        raise ValueError("chart too narrow")
+    label_width = max(len(str(label)) for label in values)
+    magnitude = max(abs(v - baseline) for v in values.values()) or 1.0
+    lines = []
+    for label, value in values.items():
+        delta = value - baseline
+        length = round(abs(delta) / magnitude * width)
+        bar = ("#" if delta >= 0 else "-") * length
+        lines.append(
+            f"{str(label).ljust(label_width)} | {value:8.3f}{unit} {bar}"
+        )
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class StackSegment:
+    """One component of a stacked bar."""
+
+    label: str
+    value: float
+    glyph: str
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ValueError("stack segments cannot be negative")
+        if len(self.glyph) != 1:
+            raise ValueError("glyph must be one character")
+
+
+def stacked_bars(
+    rows: Mapping[str, Sequence[StackSegment]],
+    width: int = 50,
+) -> str:
+    """Render stacked composition bars (e.g. CPI stacks, power shares).
+
+    All rows share one scale so totals are comparable across rows.
+    """
+    if not rows:
+        raise ValueError("nothing to chart")
+    label_width = max(len(str(label)) for label in rows)
+    totals = {label: sum(s.value for s in segments) for label, segments in rows.items()}
+    peak = max(totals.values()) or 1.0
+    lines = []
+    glyph_labels: dict[str, str] = {}
+    for label, segments in rows.items():
+        bar = ""
+        for segment in segments:
+            glyph_labels.setdefault(segment.glyph, segment.label)
+            bar += segment.glyph * round(segment.value / peak * width)
+        lines.append(
+            f"{str(label).ljust(label_width)} | {totals[label]:7.3f} {bar}"
+        )
+    legend = "   ".join(f"{g}={name}" for g, name in glyph_labels.items())
+    lines.append(legend)
+    return "\n".join(lines)

@@ -1,0 +1,130 @@
+"""Character renderings of the paper's scatter figures.
+
+Builds :mod:`repro.reporting.ascii_plot` views for the artifacts that are
+plots rather than tables: Fig. 2 (power vs TDP), Fig. 3 (i7 diversity),
+Fig. 7(c) (energy/performance clock curves), Fig. 11 (historical), and
+Fig. 12 (Pareto frontiers).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.study import Study
+from repro.experiments import (
+    fig2_tdp,
+    fig7_clock,
+    fig11_historical,
+    fig12_pareto_frontier,
+)
+from repro.experiments.base import resolve_study
+from repro.experiments.registry import run_experiment
+from repro.reporting.ascii_plot import Series, scatter
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import BENCHMARKS_BY_NAME
+
+_GROUP_MARKERS = {
+    Group.NATIVE_NONSCALABLE: "n",
+    Group.NATIVE_SCALABLE: "N",
+    Group.JAVA_NONSCALABLE: "j",
+    Group.JAVA_SCALABLE: "J",
+}
+
+
+def figure2(study: Optional[Study] = None) -> str:
+    """Fig. 2: measured benchmark power vs TDP, log/log."""
+    study = resolve_study(study)
+    by_tdp: dict[float, list[float]] = {}
+    for _, _, tdp, watts in fig2_tdp.scatter(study):
+        by_tdp.setdefault(tdp, []).append(watts)
+    points = [(tdp, w) for tdp, watts in by_tdp.items() for w in watts]
+    identity = [(x, x) for x in (2.0, 4.0, 13.0, 65.0, 130.0)]
+    return scatter(
+        [
+            Series("benchmark power", points, "o"),
+            Series("power = TDP", identity, "/"),
+        ],
+        x_label="TDP (W)",
+        y_label="measured power (W)",
+        log_x=True,
+        log_y=True,
+    )
+
+
+def figure3(study: Optional[Study] = None) -> str:
+    """Fig. 3: per-benchmark power/performance on the stock i7."""
+    study = resolve_study(study)
+    rows = run_experiment("fig3", study).rows
+    per_group: dict[Group, list[tuple[float, float]]] = {}
+    for row in rows:
+        bench = BENCHMARKS_BY_NAME[str(row["benchmark"])]
+        per_group.setdefault(bench.group, []).append(
+            (float(row["performance"]), float(row["watts"]))
+        )
+    series = [
+        Series(group.value, points, _GROUP_MARKERS[group])
+        for group, points in per_group.items()
+    ]
+    return scatter(
+        series,
+        x_label="performance / reference",
+        y_label="power (W)",
+    )
+
+
+def figure7c(study: Optional[Study] = None) -> str:
+    """Fig. 7(c): relative energy vs relative performance per clock point."""
+    study = resolve_study(study)
+    series = []
+    for key, marker in (("i7_45", "7"), ("c2d_45", "c"), ("i5_32", "5")):
+        curve = fig7_clock.energy_curve(study, key)
+        series.append(
+            Series(key, [(perf, energy) for _, perf, energy in curve], marker)
+        )
+    return scatter(
+        series,
+        x_label="performance / performance at base clock",
+        y_label="energy / energy at base clock",
+        height=16,
+    )
+
+
+def figure11(study: Optional[Study] = None) -> str:
+    """Fig. 11(a): stock power vs performance, log/log."""
+    study = resolve_study(study)
+    rows = fig11_historical.run(study).rows
+    series = [
+        Series(
+            str(row["processor"]),
+            [(float(row["performance"]), float(row["watts"]))],
+            str(row["processor"])[0],
+        )
+        for row in rows
+    ]
+    return scatter(
+        series,
+        x_label="performance / reference",
+        y_label="power (W)",
+        log_x=True,
+        log_y=True,
+    )
+
+
+def figure12(study: Optional[Study] = None) -> str:
+    """Fig. 12: Pareto frontiers per workload grouping."""
+    study = resolve_study(study)
+    rows = fig12_pareto_frontier.run(study).rows
+    markers = {"Average": "A"} | {
+        g.value: _GROUP_MARKERS[g] for g in Group
+    }
+    series = []
+    for row in rows:
+        label = str(row["grouping"])
+        points = [(float(x), float(y)) for x, y in row["frontier_series"]]
+        series.append(Series(label, points, markers[label]))
+    return scatter(
+        series,
+        x_label="group performance / reference",
+        y_label="normalised group energy",
+        height=18,
+    )

@@ -1,0 +1,31 @@
+"""Managed-runtime substrate: a HotSpot-like JVM model.
+
+Provides service-thread placement (:mod:`repro.runtime.jvm`), collector
+load and displacement (:mod:`repro.runtime.gc`), JIT warm-up
+(:mod:`repro.runtime.jit`), heap policy (:mod:`repro.runtime.heap`), and
+the paper's Java measurement protocol (:mod:`repro.runtime.methodology`).
+"""
+
+from repro.runtime.heap import HeapPolicy, PAPER_HEAP_FACTOR
+from repro.runtime.jit import DEFAULT_WARMUP, JitWarmup
+from repro.runtime.jvm import JvmPlan, ServicePlacement, plan
+from repro.runtime.methodology import (
+    JAVA_INVOCATIONS,
+    MeasurementProtocol,
+    STEADY_STATE_ITERATION,
+    protocol_for,
+)
+
+__all__ = [
+    "DEFAULT_WARMUP",
+    "HeapPolicy",
+    "JAVA_INVOCATIONS",
+    "JitWarmup",
+    "JvmPlan",
+    "MeasurementProtocol",
+    "PAPER_HEAP_FACTOR",
+    "STEADY_STATE_ITERATION",
+    "ServicePlacement",
+    "plan",
+    "protocol_for",
+]

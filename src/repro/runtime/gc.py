@@ -1,0 +1,56 @@
+"""Garbage collector model.
+
+HotSpot's throughput collector is parallel: given spare hardware contexts
+it traces with several threads and runs concurrently with allocation-free
+application phases.  Two collector effects matter to the study:
+
+* **work**: the collector (plus JIT and profiler) contributes the
+  benchmark's ``service_fraction`` of extra instructions;
+* **displacement**: when the collector shares the application's hardware
+  context it evicts the application's cache and TLB state every collection
+  — the paper's explanation for db speeding up 30 % on a second core while
+  its DTLB misses drop 2.5x (§3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.heap import HeapPolicy
+from repro.workloads.characteristics import JvmBehavior
+
+
+@dataclass(frozen=True, slots=True)
+class CollectorLoad:
+    """Resolved collector/service work for one run."""
+
+    #: Service instructions as a fraction of application instructions.
+    work_fraction: float
+    #: Collector threads that will occupy spare contexts if available.
+    threads: int
+
+
+def collector_load(jvm: JvmBehavior, heap: HeapPolicy | None = None) -> CollectorLoad:
+    """Total runtime-service work for a benchmark under a heap policy."""
+    policy = heap or HeapPolicy()
+    # Roughly 60% of service work is collection (heap-sensitive); the rest
+    # is JIT compilation and profiling (heap-insensitive).
+    gc_share = 0.6
+    scaled = jvm.service_fraction * (
+        gc_share * policy.gc_load_scale() + (1.0 - gc_share)
+    )
+    return CollectorLoad(work_fraction=scaled, threads=jvm.gc_threads)
+
+
+def displacement_factor(jvm: JvmBehavior, relief: float) -> float:
+    """Miss-rate inflation from collector displacement.
+
+    ``relief`` in [0, 1]: 0 = services fully co-located with the
+    application (full displacement), 1 = services on an idle core (no
+    displacement).  An SMT sibling gives partial relief: the thread no
+    longer steals the context, but L1/TLB are still shared.
+    """
+    if not 0.0 <= relief <= 1.0:
+        raise ValueError("relief must be in [0, 1]")
+    full = jvm.displacement_mpki_factor
+    return full - relief * (full - 1.0)

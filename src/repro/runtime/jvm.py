@@ -1,0 +1,127 @@
+"""The JVM execution plan: where runtime services land on the hardware.
+
+Workload Finding 1 — "the JVM often induces significant amounts of
+parallelism into the execution of single-threaded Java benchmarks" — is a
+*placement* phenomenon.  The runtime's service threads (collector, JIT,
+profiler) either:
+
+* **co-locate** with the application (one hardware context total): their
+  work serialises with the application's and displaces its cache state;
+* run on an **SMT sibling**: mostly hidden in stall slots, partial
+  displacement relief, some core-resource contention (fatal on NetBurst's
+  shared trace cache — Workload Finding 2);
+* run on a **spare core**: fully overlapped and full displacement relief.
+
+This module decides the placement for a benchmark on a configuration and
+quantifies each regime's costs, which the execution engine then folds into
+time, power, and event counts.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.hardware.config import Configuration
+from repro.runtime.gc import CollectorLoad, collector_load, displacement_factor
+from repro.runtime.heap import HeapPolicy
+from repro.workloads.benchmark import Benchmark
+
+
+class ServicePlacement(enum.Enum):
+    """Where the runtime's service threads execute."""
+
+    COLOCATED = "colocated"  # share the application's hardware context
+    SMT_SIBLING = "smt-sibling"  # hardware thread on an application core
+    SPARE_CORE = "spare-core"  # whole idle core available
+
+
+#: Displacement relief by placement: a sibling shares L1/TLB so relief is
+#: partial; a spare core gives full relief.
+_RELIEF = {
+    ServicePlacement.COLOCATED: 0.0,
+    ServicePlacement.SMT_SIBLING: 0.55,
+    ServicePlacement.SPARE_CORE: 1.0,
+}
+
+#: Fraction of service work that stays serialised with the application
+#: even when services have their own context (safepoints, brief
+#: stop-the-world pauses of the parallel collector).
+_SERIAL_RESIDUE = {
+    ServicePlacement.COLOCATED: 1.0,
+    ServicePlacement.SMT_SIBLING: 0.35,
+    ServicePlacement.SPARE_CORE: 0.12,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class JvmPlan:
+    """Resolved runtime behaviour of one Java run."""
+
+    app_threads: int
+    placement: ServicePlacement
+    load: CollectorLoad
+    #: Multiplier on the application's memory/DTLB miss rates.
+    displacement: float
+    #: Service work that serialises with the application (fraction of app
+    #: work); the rest overlaps on other contexts.
+    serial_service: float
+    #: Service work running concurrently on non-application contexts
+    #: (fraction of app work) — occupies contexts and burns power.
+    overlapped_service: float
+    #: Throughput tax on the application from sharing core resources with
+    #: services on an SMT sibling (0 unless placement is SMT_SIBLING).
+    sibling_friction: float
+
+
+def plan(
+    benchmark: Benchmark,
+    config: Configuration,
+    heap: HeapPolicy | None = None,
+) -> JvmPlan:
+    """Decide service placement for ``benchmark`` on ``config``."""
+    if benchmark.jvm is None:
+        raise ValueError(f"{benchmark.name} is not a managed benchmark")
+    contexts = config.hardware_contexts
+    app_threads = min(benchmark.character.threads_on(contexts), contexts)
+    load = collector_load(benchmark.jvm, heap)
+
+    app_cores = math.ceil(app_threads / config.threads_per_core)
+    spare_cores = config.active_cores - app_cores
+    spare_contexts = contexts - app_threads
+
+    if spare_cores >= 1:
+        placement = ServicePlacement.SPARE_CORE
+    elif spare_contexts >= 1:
+        placement = ServicePlacement.SMT_SIBLING
+    else:
+        placement = ServicePlacement.COLOCATED
+
+    relief = _RELIEF[placement]
+    serial_residue = _SERIAL_RESIDUE[placement]
+    overlapped_share = 1.0 - serial_residue
+    if placement is ServicePlacement.COLOCATED and app_threads > 1:
+        # A fully-threaded application leaves no spare context, but the
+        # throughput collector is itself parallel: stop-the-world pauses
+        # trace with every core, so only a residue of service work
+        # serialises and the rest rides the existing parallelism.
+        serial_residue = 0.35
+        overlapped_share = 0.0
+    serial = serial_residue * load.work_fraction
+    overlapped = overlapped_share * load.work_fraction
+
+    friction = 0.0
+    if placement is ServicePlacement.SMT_SIBLING:
+        family = config.spec.family
+        friction = family.smt_contention * (1.0 + benchmark.jvm.code_pressure)
+
+    return JvmPlan(
+        app_threads=app_threads,
+        placement=placement,
+        load=load,
+        displacement=displacement_factor(benchmark.jvm, relief),
+        serial_service=serial,
+        overlapped_service=overlapped,
+        sibling_friction=friction,
+    )

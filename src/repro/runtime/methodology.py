@@ -1,0 +1,58 @@
+"""The Java measurement protocol of §2.2.
+
+The paper follows the recommended methodologies for measuring Java
+(Blackburn et al.; Georges et al.): report the *fifth iteration* of each
+benchmark within a single JVM invocation (steady state), repeat over
+*twenty invocations*, and report the mean.  Native benchmarks replay
+deterministically, so SPEC's prescribed three executions (five for PARSEC)
+suffice.
+
+This module encodes the protocol so the study harness, Table 2's
+confidence intervals, and the tests all share one definition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.workloads.benchmark import Benchmark, Group
+
+#: §2.2: "We report the fifth iteration of each benchmark within a single
+#: invocation of the JVM to capture steady state behavior."
+STEADY_STATE_ITERATION = 5
+
+#: §2.2: twenty invocations for statistically stable Java results.
+JAVA_INVOCATIONS = 20
+
+#: §2.1: SPEC prescribes three executions for CPU2006.
+NATIVE_NONSCALABLE_EXECUTIONS = 3
+
+#: §2.1: five executions for PARSEC.
+NATIVE_SCALABLE_EXECUTIONS = 5
+
+
+@dataclass(frozen=True, slots=True)
+class MeasurementProtocol:
+    """How many runs to take and which iteration to report."""
+
+    invocations: int
+    iteration: int
+
+    def __post_init__(self) -> None:
+        if self.invocations < 1 or self.iteration < 1:
+            raise ValueError("invocations and iteration must be >= 1")
+
+
+def protocol_for(benchmark: Benchmark) -> MeasurementProtocol:
+    """The paper's protocol for one benchmark."""
+    if benchmark.managed:
+        return MeasurementProtocol(
+            invocations=JAVA_INVOCATIONS, iteration=STEADY_STATE_ITERATION
+        )
+    if benchmark.group is Group.NATIVE_SCALABLE:
+        return MeasurementProtocol(
+            invocations=NATIVE_SCALABLE_EXECUTIONS, iteration=1
+        )
+    return MeasurementProtocol(
+        invocations=NATIVE_NONSCALABLE_EXECUTIONS, iteration=1
+    )

@@ -1,0 +1,101 @@
+"""JVM vendor profiles (§2.2's deferred comparison).
+
+The paper measured Oracle HotSpot, and spot-checked Oracle JRockit and
+IBM J9: "Their average performance is similar to HotSpot, but individual
+benchmarks vary substantially.  We observe aggregate power differences of
+up to 10% between JVMs."  Exploring that influence is called out as
+future work — this module provides it.
+
+A vendor profile carries a small mean performance offset, a per-benchmark
+deterministic variation (two JITs never agree on which methods deserve
+their budget), a power activity factor, and a service-load scale (J9's
+generational policies collect differently than HotSpot's throughput
+collector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.seeding import rng_for, run_key
+from repro.workloads.benchmark import Benchmark
+
+
+@dataclass(frozen=True, slots=True)
+class JvmVendor:
+    """One JVM implementation's behavioural profile."""
+
+    name: str
+    #: Mean performance relative to HotSpot (>1 is faster).
+    mean_performance: float
+    #: Per-benchmark standard deviation of the performance ratio — how much
+    #: individual benchmarks diverge between this JIT and HotSpot's.
+    benchmark_spread: float
+    #: Package power activity relative to HotSpot-compiled code.
+    activity_factor: float
+    #: Runtime-service (GC + JIT) load relative to HotSpot.
+    service_scale: float
+
+    def __post_init__(self) -> None:
+        if self.mean_performance <= 0 or self.activity_factor <= 0:
+            raise ValueError("vendor factors must be positive")
+        if self.benchmark_spread < 0:
+            raise ValueError("spread cannot be negative")
+        if self.service_scale <= 0:
+            raise ValueError("service scale must be positive")
+
+    def performance_factor(self, benchmark: Benchmark) -> float:
+        """Deterministic per-benchmark performance ratio vs HotSpot.
+
+        HotSpot is the identity by construction; other vendors draw a
+        stable per-benchmark factor around their mean.
+        """
+        if not benchmark.managed:
+            raise ValueError(f"{benchmark.name} is native; no JVM applies")
+        if self.benchmark_spread == 0.0 and self.mean_performance == 1.0:
+            return 1.0
+        rng = rng_for(run_key("jvm-vendor", self.name, benchmark.name))
+        return self.mean_performance * float(
+            rng.lognormal(mean=0.0, sigma=self.benchmark_spread)
+        )
+
+
+#: The JVM the paper reports: the baseline identity profile.
+HOTSPOT = JvmVendor(
+    name="HotSpot 1.6.0 (16.3-b01)",
+    mean_performance=1.0,
+    benchmark_spread=0.0,
+    activity_factor=1.0,
+    service_scale=1.0,
+)
+
+#: Oracle JRockit R28: aggressive optimising JIT, larger code footprint,
+#: slightly hotter.
+JROCKIT = JvmVendor(
+    name="JRockit R28.0.0",
+    mean_performance=1.01,
+    benchmark_spread=0.10,
+    activity_factor=1.06,
+    service_scale=1.05,
+)
+
+#: IBM J9 SR8: leaner code and collector, slightly cooler, comparable
+#: average speed with large per-benchmark swings.
+J9 = JvmVendor(
+    name="IBM J9 pxi3260sr8",
+    mean_performance=0.99,
+    benchmark_spread=0.12,
+    activity_factor=0.95,
+    service_scale=0.92,
+)
+
+VENDORS: tuple[JvmVendor, ...] = (HOTSPOT, JROCKIT, J9)
+
+
+def vendor(name: str) -> JvmVendor:
+    """Look up a vendor by short name ('hotspot', 'jrockit', 'j9')."""
+    table = {"hotspot": HOTSPOT, "jrockit": JROCKIT, "j9": J9}
+    try:
+        return table[name.lower()]
+    except KeyError:
+        raise KeyError(f"unknown JVM vendor {name!r}; known: {sorted(table)}") from None

@@ -1,0 +1,1 @@
+"""Benchmark suite definitions, one module per source suite (Table 1)."""

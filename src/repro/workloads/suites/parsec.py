@@ -1,0 +1,74 @@
+"""PARSEC: the 11 Native Scalable benchmarks (§2.1).
+
+Multithreaded C/C++ POSIX-threads codes, compiled with gcc -O3 in the
+paper.  freqmine (no pthreads) and dedup (working set exceeds the Pentium
+4 machine's memory) are excluded, exactly as in the paper.  Bienia et al.
+show these scale to 8 hardware contexts; the paper measures an average 3.8x
+speedup on the i7's eight contexts.
+
+fluidanimate carries the study's highest measured power (89 W on the
+stock i7, §2.5); canneal and streamcluster are the memory-bound members.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.benchmark import Benchmark, Group, Suite
+from repro.workloads.characteristics import WorkloadCharacter
+
+
+def _parsec(
+    name: str,
+    seconds: float,
+    description: str,
+    ilp: float,
+    branch: float,
+    memory: float,
+    footprint: float,
+    activity: float,
+    parallel: float,
+    sync: float = 0.004,
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        suite=Suite.PARSEC,
+        group=Group.NATIVE_SCALABLE,
+        description=description,
+        reference_seconds=seconds,
+        character=WorkloadCharacter(
+            ilp=ilp,
+            branch_mpki=branch,
+            memory_mpki=memory,
+            footprint_mb=footprint,
+            activity=activity,
+            parallel_fraction=parallel,
+            sync_overhead=sync,
+            software_threads=None,  # spawns one worker per hardware context
+        ),
+    )
+
+
+#: All 11 Native Scalable benchmarks, Table 1 order.
+BENCHMARKS: tuple[Benchmark, ...] = (
+    _parsec("blackscholes", 482, "Prices options with Black-Scholes PDE",
+            2.3, 0.8, 0.3, 2, 1.12, 0.955),
+    _parsec("bodytrack", 471, "Tracks a markerless human body",
+            2.0, 2.0, 1.0, 8, 1.05, 0.935),
+    _parsec("canneal", 301, "Cache-aware simulated annealing for chip routing",
+            1.3, 2.8, 14.0, 60, 0.72, 0.915, sync=0.008),
+    _parsec("facesim", 1230, "Simulates human face motion",
+            2.1, 1.0, 4.0, 40, 1.05, 0.945),
+    _parsec("ferret", 738, "Image search",
+            1.9, 2.2, 3.0, 20, 1.00, 0.955),
+    _parsec("fluidanimate", 812, "SPH fluid dynamics for realtime animation",
+            2.2, 0.8, 2.5, 30, 1.38, 0.955),
+    _parsec("raytrace", 1970, "Physical simulation for visualisation",
+            2.1, 1.5, 1.5, 16, 1.10, 0.935),
+    _parsec("streamcluster", 629, "Online clustering of a data-point stream",
+            1.7, 0.6, 10.0, 48, 0.88, 0.945, sync=0.007),
+    _parsec("swaptions", 612, "Prices swaptions with Heath-Jarrow-Morton",
+            2.4, 0.9, 0.2, 1, 1.20, 0.965),
+    _parsec("vips", 297, "Applies transformations to an image",
+            2.0, 1.6, 2.0, 16, 1.06, 0.945),
+    _parsec("x264", 265, "MPEG-4 AVC / H.264 video encoder",
+            2.3, 1.8, 1.5, 12, 1.22, 0.925),
+)

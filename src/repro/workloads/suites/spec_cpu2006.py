@@ -1,0 +1,108 @@
+"""SPEC CPU2006: the 27 Native Non-scalable benchmarks (§2.1).
+
+Twelve SPEC CINT2006 integer codes and fifteen SPEC CFP2006 floating-point
+codes, all single-threaded, compiled ahead of time with icc -o3 in the
+paper.  410.bwaves and 481.wrf are excluded (they failed to build with icc),
+exactly as in the paper.
+
+Signature values (ILP, miss rates, footprints, activity) follow the public
+SPEC CPU2006 characterisation literature: mcf/omnetpp/lbm/milc are the
+memory-bound outliers; hmmer/h264ref/gamess/namd/povray are the dense
+compute codes.  Activity encodes the group's hallmark: SPEC CPU draws
+noticeably *less* power than scalable or managed code on the i7/i5
+(Workload Finding 3), with 471.omnetpp the documented 23 W minimum.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.benchmark import Benchmark, Group, Suite
+from repro.workloads.characteristics import WorkloadCharacter
+
+
+def _cint(
+    name: str,
+    seconds: float,
+    description: str,
+    ilp: float,
+    branch: float,
+    memory: float,
+    footprint: float,
+    activity: float,
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        suite=Suite.SPEC_CINT2006,
+        group=Group.NATIVE_NONSCALABLE,
+        description=description,
+        reference_seconds=seconds,
+        character=WorkloadCharacter(
+            ilp=ilp,
+            branch_mpki=branch,
+            memory_mpki=memory,
+            footprint_mb=footprint,
+            activity=activity,
+        ),
+    )
+
+
+def _cfp(
+    name: str,
+    seconds: float,
+    description: str,
+    ilp: float,
+    branch: float,
+    memory: float,
+    footprint: float,
+    activity: float,
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        suite=Suite.SPEC_CFP2006,
+        group=Group.NATIVE_NONSCALABLE,
+        description=description,
+        reference_seconds=seconds,
+        character=WorkloadCharacter(
+            ilp=ilp,
+            branch_mpki=branch,
+            memory_mpki=memory,
+            footprint_mb=footprint,
+            activity=activity,
+        ),
+    )
+
+
+CINT2006: tuple[Benchmark, ...] = (
+    _cint("perlbench", 1037, "Perl programming language", 1.8, 4.5, 0.8, 8, 0.95),
+    _cint("bzip2", 1563, "bzip2 compression", 1.6, 3.5, 2.5, 10, 0.92),
+    _cint("gcc", 851, "C optimizing compiler", 1.7, 4.0, 3.0, 20, 0.88),
+    _cint("mcf", 894, "Combinatorial opt / vehicle scheduling", 1.1, 2.5, 22.0, 60, 0.62),
+    _cint("gobmk", 1113, "AI: Go game", 1.5, 6.5, 0.6, 3, 0.94),
+    _cint("hmmer", 1024, "Search a gene sequence database", 2.4, 1.0, 0.4, 2, 1.05),
+    _cint("sjeng", 1315, "AI: tree search & pattern recognition", 1.6, 6.0, 0.5, 4, 0.95),
+    _cint("libquantum", 629, "Physics / quantum computing", 1.9, 1.0, 12.0, 32, 0.78),
+    _cint("h264ref", 1533, "H.264/AVC video compression", 2.3, 2.0, 0.5, 4, 1.10),
+    _cint("omnetpp", 905, "Ethernet network simulation (OMNeT++)", 1.15, 3.5, 13.0, 40, 0.55),
+    _cint("astar", 1154, "Portable 2D path-finding library", 1.3, 3.8, 6.0, 25, 0.78),
+    _cint("xalancbmk", 787, "XSLT processor for transforming XML", 1.4, 3.0, 5.0, 30, 0.82),
+)
+
+CFP2006: tuple[Benchmark, ...] = (
+    _cfp("gamess", 3505, "Quantum chemical computations", 2.6, 0.7, 0.3, 2, 1.08),
+    _cfp("milc", 640, "Physics / quantum chromodynamics (QCD)", 1.6, 0.3, 14.0, 64, 0.75),
+    _cfp("zeusmp", 1541, "Physics / magnetohydrodynamics (ZEUS-MP)", 2.0, 0.5, 5.0, 40, 0.98),
+    _cfp("gromacs", 983, "Molecular dynamics simulation", 2.4, 1.2, 0.7, 3, 1.10),
+    _cfp("cactusADM", 1994, "Cactus / BenchADM relativity kernels", 2.0, 0.2, 6.0, 50, 0.96),
+    _cfp("leslie3d", 1512, "Linear-Eddy Model 3D fluid dynamics", 2.0, 0.4, 8.0, 48, 0.95),
+    _cfp("namd", 1225, "Parallel simulation of biomolecular systems", 2.5, 0.9, 0.4, 3, 1.12),
+    _cfp("dealII", 832, "PDEs with adaptive finite elements", 2.2, 1.5, 2.5, 12, 1.00),
+    _cfp("soplex", 1024, "Simplex linear program solver", 1.5, 2.5, 8.0, 40, 0.78),
+    _cfp("povray", 636, "Ray-tracer", 2.2, 2.5, 0.2, 2, 1.12),
+    _cfp("calculix", 1130, "Finite element 3D structural applications", 2.3, 1.2, 1.5, 8, 1.05),
+    _cfp("GemsFDTD", 1648, "Maxwell equations in 3D, time domain", 1.9, 0.4, 10.0, 60, 0.85),
+    _cfp("tonto", 1439, "Quantum crystallography", 2.2, 1.5, 1.0, 6, 1.05),
+    _cfp("lbm", 1298, "Lattice Boltzmann incompressible fluids", 2.0, 0.1, 16.0, 64, 0.80),
+    _cfp("sphinx3", 2007, "Speech recognition", 1.9, 1.8, 6.0, 20, 0.92),
+)
+
+#: All 27 Native Non-scalable benchmarks, Table 1 order.
+BENCHMARKS: tuple[Benchmark, ...] = CINT2006 + CFP2006

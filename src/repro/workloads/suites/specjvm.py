@@ -1,0 +1,85 @@
+"""SPECjvm98: seven Java Non-scalable benchmarks (§2.1).
+
+Client-side Java codes, over a decade old at the time of the study, with
+small instruction-cache and data footprints (Blackburn et al.).  All are
+single-threaded except mtrt's dual-threaded raytracer, which the paper
+places in Java Non-scalable because it does not scale past two threads.
+
+db is the paper's worked example of JVM-induced parallelism: despite
+spending 95 % of its instructions in single-threaded application code it
+speeds up ~30 % with a second core because the collector stops displacing
+its data — DTLB misses drop by 2.5x (§3.1).
+"""
+
+from __future__ import annotations
+
+from repro.workloads.benchmark import Benchmark, Group, Suite
+from repro.workloads.characteristics import JvmBehavior, WorkloadCharacter
+
+
+def _specjvm(
+    name: str,
+    seconds: float,
+    description: str,
+    character: WorkloadCharacter,
+    jvm: JvmBehavior,
+) -> Benchmark:
+    return Benchmark(
+        name=name,
+        suite=Suite.SPECJVM,
+        group=Group.JAVA_NONSCALABLE,
+        description=description,
+        reference_seconds=seconds,
+        character=character,
+        jvm=jvm,
+    )
+
+
+#: All seven SPECjvm benchmarks, Table 1 order.
+BENCHMARKS: tuple[Benchmark, ...] = (
+    _specjvm(
+        "compress", 5.3, "Lempel-Ziv compression",
+        WorkloadCharacter(ilp=1.9, branch_mpki=2.0, memory_mpki=1.5,
+                          footprint_mb=8, activity=1.02),
+        JvmBehavior(service_fraction=0.02, displacement_mpki_factor=1.04),
+    ),
+    _specjvm(
+        "jess", 1.4, "Java expert system shell",
+        WorkloadCharacter(ilp=1.6, branch_mpki=3.5, memory_mpki=1.0,
+                          footprint_mb=6, activity=0.99),
+        JvmBehavior(service_fraction=0.06, displacement_mpki_factor=1.10),
+    ),
+    _specjvm(
+        "db", 6.8, "Small data management program",
+        WorkloadCharacter(ilp=1.4, branch_mpki=2.5, memory_mpki=6.0,
+                          footprint_mb=24, activity=0.88, dtlb_mpki=8.0),
+        # 95% of instructions are application code, yet collector
+        # displacement costs ~30% when co-located (§3.1).
+        JvmBehavior(service_fraction=0.05, displacement_mpki_factor=1.75),
+    ),
+    _specjvm(
+        "javac", 3.0, "The JDK 1.0.2 Java compiler",
+        WorkloadCharacter(ilp=1.5, branch_mpki=4.0, memory_mpki=2.0,
+                          footprint_mb=12, activity=0.97),
+        JvmBehavior(service_fraction=0.08, displacement_mpki_factor=1.08),
+    ),
+    _specjvm(
+        "mpegaudio", 3.1, "MPEG-3 audio stream decoder",
+        WorkloadCharacter(ilp=2.2, branch_mpki=1.2, memory_mpki=0.3,
+                          footprint_mb=2, activity=1.12),
+        JvmBehavior(service_fraction=0.01, displacement_mpki_factor=1.01),
+    ),
+    _specjvm(
+        "mtrt", 0.8, "Dual-threaded raytracer",
+        WorkloadCharacter(ilp=1.8, branch_mpki=2.0, memory_mpki=1.2,
+                          footprint_mb=10, activity=1.08,
+                          parallel_fraction=0.58, software_threads=2),
+        JvmBehavior(service_fraction=0.08, displacement_mpki_factor=1.10),
+    ),
+    _specjvm(
+        "jack", 2.4, "Parser generator with lexical analysis",
+        WorkloadCharacter(ilp=1.5, branch_mpki=4.5, memory_mpki=1.5,
+                          footprint_mb=8, activity=0.95),
+        JvmBehavior(service_fraction=0.09, displacement_mpki_factor=1.12),
+    ),
+)

@@ -1,0 +1,120 @@
+"""Synthetic workloads: model *your* application on the study's machines.
+
+The catalog covers the paper's 61 benchmarks, but a downstream user of
+this library usually wants to ask "how would my service behave across
+these design points?".  This module builds valid
+:class:`~repro.workloads.benchmark.Benchmark` objects from high-level
+descriptors — compute- or memory-bound, branchy or regular, serial or
+scaling — without hand-picking a dozen signature rates.
+
+Example::
+
+    from repro.workloads.synthetic import synthetic
+
+    svc = synthetic(
+        "my-service",
+        boundness=0.7,          # fairly memory-bound
+        branchiness=0.4,
+        parallelism=0.9,        # scales to most contexts
+        managed=True,
+        reference_seconds=12.0,
+    )
+    study.measure(svc, stock(processor("i7_45")))
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.workloads.benchmark import Benchmark, Group, Suite
+from repro.workloads.characteristics import JvmBehavior, WorkloadCharacter
+
+#: Signature extremes the descriptors interpolate between.
+_ILP_RANGE = (2.6, 1.1)  # compute-bound .. memory-bound
+_MPKI_RANGE = (0.2, 20.0)
+_FOOTPRINT_RANGE = (2.0, 64.0)
+_BRANCH_RANGE = (0.3, 6.5)
+_ACTIVITY_RANGE = (1.25, 0.60)  # dense FP .. pointer chasing
+
+
+def _lerp(low: float, high: float, t: float) -> float:
+    return low + (high - low) * t
+
+
+def synthetic(
+    name: str,
+    boundness: float = 0.3,
+    branchiness: float = 0.3,
+    parallelism: float = 0.0,
+    managed: bool = False,
+    reference_seconds: float = 10.0,
+    service_fraction: Optional[float] = None,
+    threads: Optional[int] = None,
+) -> Benchmark:
+    """Build a benchmark from high-level descriptors, each in [0, 1].
+
+    * ``boundness`` — 0 is pure compute, 1 is pathologically memory-bound
+      (mcf-like);
+    * ``branchiness`` — 0 is straight-line numeric code, 1 is AI-search
+      control flow;
+    * ``parallelism`` — the Amdahl parallel fraction; 0 means
+      single-threaded.  ``threads`` fixes a software thread count; the
+      default scales to the hardware when ``parallelism > 0``.
+    * ``managed`` — run under the JVM model with ``service_fraction``
+      runtime-service work (default 8 %, the catalog's typical value).
+
+    The result is a fully valid catalog-style benchmark: the engine
+    calibrates its work so its mean reference-machine run time equals
+    ``reference_seconds``, and every experiment/measure API accepts it.
+    """
+    for label, value in (
+        ("boundness", boundness),
+        ("branchiness", branchiness),
+    ):
+        if not 0.0 <= value <= 1.0:
+            raise ValueError(f"{label} must be in [0, 1]")
+    if not 0.0 <= parallelism < 1.0:
+        raise ValueError("parallelism must be in [0, 1)")
+
+    scalable = parallelism >= 0.85
+    if threads is None:
+        software_threads = None if parallelism > 0.0 else 1
+    else:
+        software_threads = threads
+
+    character = WorkloadCharacter(
+        ilp=_lerp(*_ILP_RANGE, boundness),
+        branch_mpki=_lerp(*_BRANCH_RANGE, branchiness),
+        memory_mpki=_lerp(*_MPKI_RANGE, boundness),
+        footprint_mb=_lerp(*_FOOTPRINT_RANGE, boundness),
+        activity=_lerp(*_ACTIVITY_RANGE, boundness),
+        parallel_fraction=parallelism,
+        software_threads=software_threads,
+    )
+
+    if managed:
+        group = Group.JAVA_SCALABLE if scalable else Group.JAVA_NONSCALABLE
+        jvm = JvmBehavior(
+            service_fraction=0.08 if service_fraction is None else service_fraction
+        )
+        suite = Suite.DACAPO_9  # closest real-world analogue
+    else:
+        group = Group.NATIVE_SCALABLE if scalable else Group.NATIVE_NONSCALABLE
+        jvm = None
+        suite = Suite.PARSEC if scalable else Suite.SPEC_CINT2006
+
+    if group.scalable and character.software_threads == 1:
+        raise ValueError(
+            "parallelism this high needs threads: pass threads>1 or leave "
+            "threads unset"
+        )
+
+    return Benchmark(
+        name=name,
+        suite=suite,
+        group=group,
+        description=f"synthetic workload ({name})",
+        reference_seconds=reference_seconds,
+        character=character,
+        jvm=jvm,
+    )

@@ -1,0 +1,37 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects — the calibrated engine and a quick-protocol study
+with its result cache — are session-scoped: the study caches every
+(benchmark, configuration) measurement, so integration tests share one
+dataset exactly as the paper's analyses share one physical dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.normalization import References
+from repro.core.study import Study
+from repro.execution.engine import ExecutionEngine, default_engine
+
+
+@pytest.fixture(scope="session")
+def engine() -> ExecutionEngine:
+    return default_engine()
+
+
+@pytest.fixture(scope="session")
+def references(engine: ExecutionEngine) -> References:
+    return References(engine)
+
+
+@pytest.fixture(scope="session")
+def study(references: References) -> Study:
+    """Quick-protocol study (20% of the paper's repetition counts)."""
+    return Study(references=references, invocation_scale=0.2)
+
+
+@pytest.fixture(scope="session")
+def full_study(references: References) -> Study:
+    """Full paper-protocol study for tests that need real CIs."""
+    return Study(references=references, invocation_scale=1.0)

@@ -1,0 +1,86 @@
+"""Integration: every registered experiment regenerates its artifact."""
+
+import pytest
+
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+from repro.reporting.tables import render_experiment
+
+
+class TestRegistry:
+    def test_covers_every_paper_artifact(self):
+        expected = {f"table{i}" for i in range(1, 6)} | {
+            f"fig{i}" for i in range(1, 13)
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_unknown_id_rejected(self, study):
+        with pytest.raises(KeyError):
+            run_experiment("fig99", study)
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXPERIMENTS))
+class TestEveryExperiment:
+    def test_runs_and_renders(self, experiment_id, study):
+        result = run_experiment(experiment_id, study)
+        assert result.experiment_id == experiment_id
+        assert len(result.rows) > 0
+        text = render_experiment(result)
+        assert result.title in text
+
+    def test_deterministic(self, experiment_id, study):
+        first = run_experiment(experiment_id, study)
+        second = run_experiment(experiment_id, study)
+        assert first.rows == second.rows
+
+
+class TestExperimentShapes:
+    def test_table1_covers_61_benchmarks(self, study):
+        assert len(run_experiment("table1", study).rows) == 61
+
+    def test_table1_calibration_closes(self, study):
+        for row in run_experiment("table1", study).rows:
+            assert float(row["measured_reference_time_s"]) == pytest.approx(
+                float(row["paper_time_s"]), rel=0.01
+            )
+
+    def test_table3_covers_8_processors(self, study):
+        assert len(run_experiment("table3", study).rows) == 8
+
+    def test_fig1_orders_scalable_java_on_top(self, study):
+        rows = run_experiment("fig1", study).rows
+        top_five = {str(r["benchmark"]) for r in rows[:5]}
+        assert top_five == {"sunflow", "xalan", "tomcat", "lusearch", "eclipse"}
+
+    def test_fig2_tdp_always_above_measured(self, study):
+        for row in run_experiment("fig2", study).rows:
+            assert float(row["tdp_over_max"]) > 1.0
+
+    def test_fig2_atom_spread_narrow_nehalems_wide(self, study):
+        rows = {str(r["processor"]): float(r["max_over_min"])
+                for r in run_experiment("fig2", study).rows}
+        assert rows["Atom (45)"] < 1.6
+        # The Nehalems' advanced power management gives them by far the
+        # widest benchmark-to-benchmark power spread (§2.5).
+        assert rows["i7 (45)"] > 2.0
+        assert rows["i5 (32)"] > 1.8
+        assert rows["Atom (45)"] < rows["i7 (45)"]
+
+    def test_fig3_extremes_match_paper_identities(self, study):
+        note = run_experiment("fig3", study).notes[0]
+        assert "omnetpp" in note
+        assert "fluidanimate" in note
+
+    def test_fig12_frontiers_fit(self, study):
+        rows = run_experiment("fig12", study).rows
+        assert len(rows) == 5
+        for row in rows:
+            assert len(row["efficient_points"]) >= 2
+            assert len(row["frontier_series"]) >= 2
+
+    def test_fig12_parallelism_extends_frontier(self, study):
+        """Workload Finding 4 (Fig. 12): scalable groups reach much higher
+        performance than non-scalable ones."""
+        rows = {str(r["grouping"]): r for r in run_experiment("fig12", study).rows}
+        ns_max = rows["Native Scalable"]["performance_range"][1]
+        nn_max = rows["Native Non-scalable"]["performance_range"][1]
+        assert ns_max > 1.5 * nn_max

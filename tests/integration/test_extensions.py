@@ -1,0 +1,114 @@
+"""Integration: the beyond-paper extension experiments."""
+
+import pytest
+
+from repro.experiments.registry import EXTENSIONS, run_experiment
+
+
+@pytest.mark.parametrize("experiment_id", sorted(EXTENSIONS))
+def test_extension_runs(experiment_id, study):
+    result = run_experiment(experiment_id, study)
+    assert result.rows
+
+
+class TestJvmVendors:
+    def test_average_similar_individuals_vary(self, study):
+        """§2.2's observation, asserted."""
+        result = run_experiment("ext_jvm_vendors", study)
+        for row in result.rows:
+            assert abs(float(row["mean_performance_vs_hotspot"]) - 1.0) < 0.05
+            assert abs(float(row["mean_power_vs_hotspot"]) - 1.0) <= 0.10
+        spreads = [
+            float(row["max_benchmark_ratio"]) - float(row["min_benchmark_ratio"])
+            for row in result.rows
+            if "HotSpot" not in str(row["jvm"])
+        ]
+        assert all(spread > 0.2 for spread in spreads)
+
+
+class TestCompilers:
+    def test_icc_wins_on_out_of_order_parts(self, study):
+        result = run_experiment("ext_compilers", study)
+        for row in result.rows:
+            if row["processor"] != "Pentium4 (130)":
+                assert float(row["mean_gcc_over_icc_time"]) >= 1.0
+
+    def test_gap_is_modest(self, study):
+        result = run_experiment("ext_compilers", study)
+        for row in result.rows:
+            assert float(row["mean_gcc_over_icc_time"]) < 1.10
+
+
+class TestHeap:
+    def test_tighter_heap_slower(self, study):
+        result = run_experiment("ext_heap", study)
+        by_factor = {float(r["heap_factor"]): r for r in result.rows}
+        times = [
+            float(by_factor[f]["mean_time_vs_3x_heap"]) for f in (1.5, 2.0, 3.0, 6.0)
+        ]
+        assert times == sorted(times, reverse=True)
+
+    def test_three_x_heap_is_reference(self, study):
+        result = run_experiment("ext_heap", study)
+        row = next(r for r in result.rows if float(r["heap_factor"]) == 3.0)
+        assert float(row["mean_time_vs_3x_heap"]) == pytest.approx(1.0)
+
+    def test_cmp_gain_grows_with_gc_load(self, study):
+        result = run_experiment("ext_heap", study)
+        by_factor = {float(r["heap_factor"]): r for r in result.rows}
+        gains = [
+            float(by_factor[f]["mean_cmp_gain_2C_over_1C"]) for f in (1.5, 2.0, 3.0, 6.0)
+        ]
+        assert gains == sorted(gains, reverse=True)
+
+
+class TestWholeSystem:
+    def test_chip_share_smallest_on_atoms(self, study):
+        result = run_experiment("ext_whole_system", study)
+        shares = {str(r["processor"]): float(r["chip_share_of_wall"])
+                  for r in result.rows}
+        assert shares["Atom (45)"] == min(shares.values())
+        assert shares["Atom (45)"] < 0.15
+
+    def test_wall_compresses_dynamic_range(self, study):
+        result = run_experiment("ext_whole_system", study)
+        for row in result.rows:
+            assert float(row["wall_dynamic_range"]) < float(
+                row["chip_dynamic_range"]
+            )
+
+
+class TestThermal:
+    def test_all_workloads_sustain_boost(self, study):
+        result = run_experiment("ext_thermal", study)
+        for row in result.rows:
+            assert row["all_benchmarks_sustain_boost"] is True
+            assert float(row["min_headroom"]) > 0.2
+
+
+class TestDvfs:
+    def test_diminishing_returns_across_nodes(self, study):
+        """Le Sueur & Heiser's observation: the 45nm parts save energy by
+        down-clocking; the 32nm i5 does not."""
+        result = run_experiment("ext_dvfs", study)
+        by_node = {}
+        for row in result.rows:
+            by_node.setdefault(int(row["node_nm"]), []).append(
+                float(row["downclock_energy_saving"])
+            )
+        assert min(by_node[45]) > 0.2
+        assert max(by_node[32]) < 0.05
+
+
+class TestCharacterization:
+    def test_four_groups_characterised(self, study):
+        result = run_experiment("ext_characterization", study)
+        assert len(result.rows) == 4
+
+    def test_scalables_cheapest_per_instruction(self, study):
+        """Spreading work across contexts amortises the package floor."""
+        result = run_experiment("ext_characterization", study)
+        epi = {str(r["group"]): float(r["mean_nj_per_instruction"])
+               for r in result.rows}
+        assert epi["Native Scalable"] < epi["Native Non-scalable"]
+        assert epi["Java Scalable"] < epi["Java Non-scalable"]

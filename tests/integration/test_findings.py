@@ -1,0 +1,25 @@
+"""Integration: the paper's thirteen findings hold on the reproduction."""
+
+import pytest
+
+from repro.experiments.findings import ALL_FINDINGS, evaluate_all
+
+
+@pytest.mark.parametrize("finding", ALL_FINDINGS, ids=lambda f: f.__name__)
+def test_finding_holds(finding, study):
+    report = finding(study)
+    assert report.holds, f"{report.finding_id}: {report.evidence}"
+
+
+def test_all_thirteen_enumerated():
+    assert len(ALL_FINDINGS) == 13
+
+
+def test_evaluate_all_shares_dataset(study):
+    reports = evaluate_all(study)
+    assert len(reports) == 13
+    assert all(r.holds for r in reports)
+    assert {r.finding_id for r in reports} == {
+        "W1", "W2", "W3", "W4",
+        "A1", "A2", "A3", "A4", "A5", "A6", "A7", "A8", "A9",
+    }

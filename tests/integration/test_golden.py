@@ -1,0 +1,38 @@
+"""Golden regression tests: the dataset must not drift silently.
+
+The library is deterministic end to end, so the full-protocol measured
+values for two stock machines are pinned exactly.  A legitimate model
+retune should regenerate ``golden_stock.py`` (see its docstring) in the
+same change that justifies it.
+"""
+
+import pytest
+
+from repro.hardware.catalog import PROCESSORS
+from repro.hardware.config import stock
+from repro.workloads.catalog import BENCHMARKS
+
+from tests.integration.golden_stock import GOLDEN
+
+
+class TestGoldenDataset:
+    def test_covers_every_machine_fully(self):
+        keys = {machine for machine, _ in GOLDEN}
+        assert keys == {spec.key for spec in PROCESSORS}
+        assert len(GOLDEN) == len(PROCESSORS) * len(BENCHMARKS)
+
+    @pytest.mark.parametrize("spec", PROCESSORS, ids=lambda s: s.key)
+    def test_full_protocol_reproduces_golden(self, spec, full_study):
+        results = full_study.run_config(stock(spec))
+        for result in results:
+            seconds, watts, speedup, energy = GOLDEN[
+                (spec.key, result.benchmark_name)
+            ]
+            assert result.seconds == pytest.approx(seconds, rel=1e-9), (
+                result.benchmark_name
+            )
+            assert result.watts == pytest.approx(watts, rel=1e-9), (
+                result.benchmark_name
+            )
+            assert result.speedup == pytest.approx(speedup, rel=1e-9)
+            assert result.normalized_energy == pytest.approx(energy, rel=1e-9)

@@ -1,0 +1,81 @@
+"""Integration: the Java-specific behaviours of Figures 1 and 6."""
+
+import pytest
+
+from repro.experiments import fig1_java_scalability, fig6_single_thread_java
+from repro.experiments import paper_data
+
+
+class TestFig1Scalability:
+    def test_every_multithreaded_java_benchmark_present(self, study):
+        rows = fig1_java_scalability.run(study).rows
+        assert {str(r["benchmark"]) for r in rows} == set(
+            paper_data.FIG1_JAVA_SCALABILITY
+        )
+
+    def test_scalable_five_exceed_two(self, study):
+        rows = {str(r["benchmark"]): float(r["measured_4C2T_over_1C1T"])
+                for r in fig1_java_scalability.run(study).rows}
+        for name in ("sunflow", "xalan", "tomcat", "lusearch", "eclipse"):
+            assert rows[name] > 2.0, name
+
+    def test_nonscalable_java_stays_low(self, study):
+        rows = {str(r["benchmark"]): float(r["measured_4C2T_over_1C1T"])
+                for r in fig1_java_scalability.run(study).rows}
+        for name in ("batik", "h2", "pmd"):
+            assert rows[name] < 1.6, name
+
+    def test_sunflow_tops_the_chart(self, study):
+        rows = fig1_java_scalability.run(study).rows
+        assert rows[0]["benchmark"] == "sunflow"
+
+    def test_ordering_roughly_matches_paper(self, study):
+        """Spearman-style check: measured scalability correlates strongly
+        with the paper's Fig. 1 ordering."""
+        rows = fig1_java_scalability.run(study).rows
+        measured_order = [str(r["benchmark"]) for r in rows]
+        paper_order = sorted(
+            paper_data.FIG1_JAVA_SCALABILITY,
+            key=paper_data.FIG1_JAVA_SCALABILITY.__getitem__,
+            reverse=True,
+        )
+        displacement = sum(
+            abs(measured_order.index(name) - paper_order.index(name))
+            for name in paper_order
+        )
+        assert displacement <= 14  # max possible is 84 for 13 items
+
+
+class TestFig6SingleThreadedJava:
+    def test_average_gain_about_ten_percent(self, study):
+        """Workload Finding 1: 'on average about 10% faster ... on two
+        cores'."""
+        rows = fig6_single_thread_java.run(study).rows
+        gains = [float(r["measured_2C1T_over_1C1T"]) for r in rows]
+        mean_gain = sum(gains) / len(gains)
+        assert 1.05 < mean_gain < 1.20
+
+    def test_antlr_gains_most(self, study):
+        rows = fig6_single_thread_java.run(study).rows
+        assert rows[0]["benchmark"] in ("antlr", "db")
+        assert float(rows[0]["measured_2C1T_over_1C1T"]) > 1.3
+
+    def test_mpegaudio_gains_least(self, study):
+        rows = {str(r["benchmark"]): float(r["measured_2C1T_over_1C1T"])
+                for r in fig6_single_thread_java.run(study).rows}
+        assert rows["mpegaudio"] == pytest.approx(1.0, abs=0.03)
+
+    def test_each_benchmark_close_to_paper(self, study):
+        rows = {str(r["benchmark"]): float(r["measured_2C1T_over_1C1T"])
+                for r in fig6_single_thread_java.run(study).rows}
+        for name, paper in paper_data.FIG6_ST_JAVA_CMP.items():
+            assert rows[name] == pytest.approx(paper, abs=0.15), name
+
+    def test_db_dtlb_reduction_near_2_5x(self, study):
+        factor = fig6_single_thread_java.dtlb_reduction(study)
+        assert factor == pytest.approx(paper_data.DB_DTLB_REDUCTION, rel=0.15)
+
+    def test_no_benchmark_slows_down(self, study):
+        # Allow a little JVM run-to-run noise on the quick protocol.
+        for row in fig6_single_thread_java.run(study).rows:
+            assert float(row["measured_2C1T_over_1C1T"]) >= 0.97

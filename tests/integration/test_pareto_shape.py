@@ -1,0 +1,53 @@
+"""Integration: the Pareto analysis of Table 5 / Fig. 12."""
+
+from repro.experiments import paper_data, table5_pareto_configs
+from repro.experiments.table5_pareto_configs import AVERAGE, efficient_keys
+from repro.workloads.benchmark import Group
+
+
+class TestTable5:
+    def test_frontiers_differ_per_grouping(self, study):
+        sets = {
+            g: frozenset(efficient_keys(study, g))
+            for g in (AVERAGE, *list(Group))
+        }
+        assert len(set(sets.values())) >= 3
+
+    def test_atomd_never_efficient(self, study):
+        """§4.2: 'all four AtomD (45) configurations are not Pareto
+        efficient for any of the five groupings.'"""
+        for grouping in (AVERAGE, *list(Group)):
+            assert not any(
+                key.startswith("atomd") for key in efficient_keys(study, grouping)
+            ), grouping
+
+    def test_atom_anchors_low_energy_end_for_scalables(self, study):
+        for grouping in (Group.NATIVE_SCALABLE, Group.JAVA_SCALABLE, AVERAGE):
+            assert "atom_45/1C2T@1.66" in efficient_keys(study, grouping), grouping
+
+    def test_nn_frontier_is_i7_configurations(self, study):
+        """§4.2: 'all of the Pareto efficient points for Native
+        Non-scalable are various configurations of the ... i7' —
+        contradicting Azizi et al.'s in-order prediction."""
+        nn = efficient_keys(study, Group.NATIVE_NONSCALABLE)
+        assert nn
+        assert all(key.startswith("i7_45/") for key in nn)
+
+    def test_substantial_overlap_with_paper_sets(self, study):
+        """Pareto membership is knife-edge sensitive, so assert coverage
+        in aggregate: at least 40% of each paper column and 60% of the
+        union of all columns is recovered."""
+        total_overlap = 0
+        total_paper = 0
+        for grouping, paper_set in paper_data.TABLE5_PARETO.items():
+            measured = efficient_keys(study, grouping)
+            overlap = len(measured & set(paper_set))
+            assert overlap >= 0.4 * len(paper_set), (grouping, measured)
+            total_overlap += overlap
+            total_paper += len(paper_set)
+        assert total_overlap >= 0.6 * total_paper
+
+    def test_frontier_sizes_plausible(self, study):
+        result = table5_pareto_configs.run(study)
+        for row in result.rows:
+            assert 2 <= int(row["count"]) <= 12, row["grouping"]

@@ -1,0 +1,68 @@
+"""Integration: the end-to-end study pipeline (dataset, CIs, export)."""
+
+import pytest
+
+from repro.core.results import from_csv
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.experiments.table2_confidence import run as run_table2
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.hardware.configurations import stock_configurations
+from repro.workloads.catalog import benchmark, by_group
+from repro.workloads.benchmark import Group
+
+
+class TestTable2ConfidenceIntervals:
+    def test_time_cis_small(self, full_study):
+        """Table 2: aggregate relative CIs around 1-2%."""
+        result = run_table2(full_study, configurations=[stock(ATOM_45)])
+        average = result.row_for("group", "Average")
+        assert float(average["time_avg"]) < 0.02
+        assert float(average["power_avg"]) < 0.03
+
+    def test_java_noisier_than_native(self, full_study):
+        result = run_table2(full_study, configurations=[stock(ATOM_45)])
+        native = result.row_for("group", Group.NATIVE_NONSCALABLE.value)
+        java = result.row_for("group", Group.JAVA_NONSCALABLE.value)
+        assert float(java["time_avg"]) > float(native["time_avg"])
+
+    def test_paper_columns_present(self, full_study):
+        result = run_table2(full_study, configurations=[stock(ATOM_45)])
+        average = result.row_for("group", "Average")
+        assert average["paper_time_avg"] == paper_data.TABLE2_CI["time_average"]
+
+
+class TestDatasetExport:
+    def test_csv_round_trip_full_config(self, study, tmp_path):
+        results = study.run_config(stock(ATOM_45))
+        path = results.to_csv(tmp_path / "atom.csv")
+        records = from_csv(path)
+        assert len(records) == 61
+        by_name = {r["benchmark"]: r for r in records}
+        assert float(by_name["db"]["watts"]) > 0
+        assert by_name["db"]["processor"] == "atom_45"
+
+    def test_stock_sweep_covers_all(self, study):
+        results = study.run(stock_configurations(), by_group(Group.JAVA_SCALABLE))
+        assert len(results) == 8 * 5
+
+
+class TestReproducibility:
+    def test_identical_studies_identical_datasets(self, references):
+        a = Study(references=references, invocation_scale=0.2)
+        b = Study(references=references, invocation_scale=0.2)
+        config = stock(CORE_I7_45)
+        for name in ("db", "mcf", "xalan"):
+            ra = a.measure(benchmark(name), config)
+            rb = b.measure(benchmark(name), config)
+            assert ra.seconds == rb.seconds
+            assert ra.watts == rb.watts
+            assert ra.normalized_energy == rb.normalized_energy
+
+    def test_speedup_and_energy_consistent(self, study):
+        result = study.measure(benchmark("db"), stock(CORE_I7_45))
+        assert result.speedup == pytest.approx(
+            benchmark("db").reference_seconds / result.seconds
+        )
+        assert result.energy_joules == pytest.approx(result.seconds * result.watts)

@@ -1,0 +1,107 @@
+"""Integration: Table 4's reproduced aggregates track the paper's.
+
+Tests assert *shape*: group-weighted averages within tolerance bands,
+orderings preserved, and the headline per-group contrasts (the i7's
+NN-versus-scalable power gap, the Atom's uniform frugality).
+"""
+
+import pytest
+
+from repro.core.aggregation import full_aggregate
+from repro.experiments import paper_data
+from repro.experiments.registry import run_experiment
+from repro.hardware.catalog import PROCESSORS
+from repro.hardware.config import stock
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import BENCHMARKS
+
+#: Tolerance on group-weighted averages relative to the paper's values.
+SPEEDUP_TOLERANCE = 0.12
+POWER_TOLERANCE = 0.15
+
+
+@pytest.mark.parametrize("spec", PROCESSORS, ids=lambda s: s.key)
+class TestAvgW:
+    def test_speedup_within_band(self, spec, study):
+        results = study.run_config(stock(spec))
+        measured = full_aggregate(results.values("speedup"), BENCHMARKS)["Avg_w"]
+        paper = paper_data.TABLE4_SPEEDUP[spec.key]["Avg_w"]
+        assert measured == pytest.approx(paper, rel=SPEEDUP_TOLERANCE)
+
+    def test_power_within_band(self, spec, study):
+        results = study.run_config(stock(spec))
+        measured = full_aggregate(results.values("watts"), BENCHMARKS)["Avg_w"]
+        paper = paper_data.TABLE4_POWER[spec.key]["Avg_w"]
+        assert measured == pytest.approx(paper, rel=POWER_TOLERANCE)
+
+
+@pytest.mark.parametrize("spec", PROCESSORS, ids=lambda s: s.key)
+class TestGroupColumns:
+    def test_each_group_speedup_within_band(self, spec, study):
+        results = study.run_config(stock(spec))
+        measured = full_aggregate(results.values("speedup"), BENCHMARKS)
+        paper = paper_data.TABLE4_SPEEDUP[spec.key]
+        for group in Group:
+            assert measured[group.value] == pytest.approx(
+                paper[group], rel=0.18
+            ), group
+
+    def test_each_group_power_within_band(self, spec, study):
+        results = study.run_config(stock(spec))
+        measured = full_aggregate(results.values("watts"), BENCHMARKS)
+        paper = paper_data.TABLE4_POWER[spec.key]
+        for group in Group:
+            assert measured[group.value] == pytest.approx(
+                paper[group], rel=0.22
+            ), group
+
+
+class TestOrderings:
+    def test_speedup_ranking_matches_paper(self, study):
+        rows = run_experiment("table4", study).rows
+        for row in rows:
+            assert row["speedup:rank"] == row["speedup:paper_rank"], row["key"]
+
+    def test_power_ranking_close_to_paper(self, study):
+        """Power ranks may swap adjacent machines; never by more than one
+        position."""
+        rows = run_experiment("table4", study).rows
+        for row in rows:
+            assert abs(int(row["power:rank"]) - int(row["power:paper_rank"])) <= 1
+
+    def test_atoms_most_frugal(self, study):
+        rows = {str(r["key"]): r for r in run_experiment("table4", study).rows}
+        atom_power = float(rows["atom_45"]["power:Avg_w"])
+        assert all(
+            float(r["power:Avg_w"]) >= atom_power for r in rows.values()
+        )
+
+    def test_i7_fastest(self, study):
+        rows = {str(r["key"]): r for r in run_experiment("table4", study).rows}
+        i7 = float(rows["i7_45"]["speedup:Avg_w"])
+        assert all(float(r["speedup:Avg_w"]) <= i7 for r in rows.values())
+
+
+class TestHeadlineContrasts:
+    def test_i7_spec_cpu_power_outlier(self, study):
+        """Workload Finding (abstract): SPEC CPU draws far less power than
+        scalable workloads on the i7 — the paper's 27 W vs 60 W."""
+        results = study.run_config(stock(PROCESSORS[3]))  # i7
+        from repro.core.aggregation import group_means
+
+        watts = group_means(results.values("watts"), BENCHMARKS)
+        assert watts[Group.NATIVE_SCALABLE] > 1.6 * watts[Group.NATIVE_NONSCALABLE]
+
+    def test_atom_power_nearly_flat_across_groups(self, study):
+        results = study.run_config(stock(PROCESSORS[4]))  # atom
+        from repro.core.aggregation import group_means
+
+        watts = group_means(results.values("watts"), BENCHMARKS)
+        assert max(watts.values()) < 1.5 * min(watts.values())
+
+    def test_avg_b_below_avg_w_for_parallel_machines(self, study):
+        """Equal group weighting boosts scalable groups on many-context
+        machines: Avg_w > Avg_b on the i7, as in the paper (4.46 vs 3.84)."""
+        results = study.run_config(stock(PROCESSORS[3]))
+        aggregate = full_aggregate(results.values("speedup"), BENCHMARKS)
+        assert aggregate["Avg_w"] > aggregate["Avg_b"]

@@ -1,0 +1,60 @@
+"""Property-based tests for the aggregation methodology (§2.6)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.aggregation import (
+    benchmark_average,
+    group_means,
+    ratio_of_aggregates,
+    weighted_average,
+)
+from repro.workloads.catalog import BENCHMARKS
+
+positive = st.floats(min_value=0.01, max_value=1000.0, allow_nan=False)
+
+
+@st.composite
+def benchmark_values(draw):
+    return {b.name: draw(positive) for b in BENCHMARKS}
+
+
+class TestAggregationProperties:
+    @given(benchmark_values())
+    def test_avg_w_within_group_mean_range(self, values):
+        means = group_means(values, BENCHMARKS)
+        avg_w = weighted_average(means)
+        assert min(means.values()) - 1e-9 <= avg_w <= max(means.values()) + 1e-9
+
+    @given(benchmark_values())
+    def test_avg_b_within_value_range(self, values):
+        avg_b = benchmark_average(values)
+        assert min(values.values()) - 1e-9 <= avg_b <= max(values.values()) + 1e-9
+
+    @given(benchmark_values(), st.floats(min_value=0.1, max_value=10,
+                                         allow_nan=False))
+    def test_scale_equivariance(self, values, k):
+        scaled = {name: v * k for name, v in values.items()}
+        base = weighted_average(group_means(values, BENCHMARKS))
+        assert weighted_average(group_means(scaled, BENCHMARKS)) == pytest.approx(
+            base * k, rel=1e-9
+        )
+
+    @given(benchmark_values())
+    def test_self_ratio_is_one(self, values):
+        assert ratio_of_aggregates(values, values, BENCHMARKS) == pytest.approx(1.0)
+
+    @given(benchmark_values(), st.floats(min_value=0.1, max_value=10,
+                                         allow_nan=False))
+    def test_uniform_ratio_recovered(self, values, k):
+        scaled = {name: v * k for name, v in values.items()}
+        assert ratio_of_aggregates(scaled, values, BENCHMARKS) == pytest.approx(
+            k, rel=1e-9
+        )
+
+    @given(benchmark_values())
+    def test_constant_values_fixed_point(self, values):
+        constant = {name: 7.0 for name in values}
+        assert weighted_average(group_means(constant, BENCHMARKS)) == pytest.approx(7.0)
+        assert benchmark_average(constant) == pytest.approx(7.0)

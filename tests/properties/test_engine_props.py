@@ -1,0 +1,72 @@
+"""Property-based tests for execution-engine invariants.
+
+These run the real engine over randomly drawn catalog benchmarks and
+configurations from the study's space, asserting physical sanity no matter
+the combination.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.execution.engine import default_engine
+from repro.hardware.configurations import all_configurations
+from repro.workloads.catalog import BENCHMARKS
+
+configurations = st.sampled_from(all_configurations())
+benchmarks = st.sampled_from(BENCHMARKS)
+
+
+class TestEngineInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(benchmarks, configurations)
+    def test_time_and_power_physical(self, benchmark, config):
+        ex = default_engine().ideal(benchmark, config)
+        assert ex.seconds.value > 0
+        assert 0.5 < ex.average_power.value < 150.0
+        # Measured power never exceeds the part's TDP (Fig. 2's envelope).
+        assert ex.average_power.value < config.spec.tdp_w
+
+    @settings(max_examples=60, deadline=None)
+    @given(benchmarks, configurations)
+    def test_phases_consistent(self, benchmark, config):
+        ex = default_engine().ideal(benchmark, config)
+        assert sum(p.seconds for p in ex.phases) == pytest.approx(
+            ex.seconds.value, rel=1e-9
+        )
+        for phase in ex.phases:
+            assert 0 < phase.busy_cores <= config.active_cores + 1e-9
+            assert 0.0 <= phase.utilisation <= 1.0
+            assert phase.power.value > 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(benchmarks, configurations)
+    def test_events_consistent(self, benchmark, config):
+        ex = default_engine().ideal(benchmark, config)
+        events = ex.events
+        assert events.instructions > 0
+        assert events.cycles > 0
+        assert 0.0 < events.ipc < config.spec.family.issue_width
+
+    @settings(max_examples=40, deadline=None)
+    @given(benchmarks)
+    def test_disabling_features_never_speeds_things_up(self, benchmark):
+        """Fewer cores or SMT off never improves run time on the i7."""
+        from repro.hardware.catalog import CORE_I7_45
+        from repro.hardware.config import Configuration
+
+        engine = default_engine()
+        full = engine.ideal(benchmark, Configuration(CORE_I7_45, 4, 2, 2.66))
+        half = engine.ideal(benchmark, Configuration(CORE_I7_45, 2, 1, 2.66))
+        assert half.seconds.value >= full.seconds.value * 0.999
+
+    @settings(max_examples=40, deadline=None)
+    @given(benchmarks)
+    def test_downclock_never_speeds_things_up(self, benchmark):
+        from repro.hardware.catalog import CORE_I5_32
+        from repro.hardware.config import Configuration
+
+        engine = default_engine()
+        fast = engine.ideal(benchmark, Configuration(CORE_I5_32, 2, 2, 3.46))
+        slow = engine.ideal(benchmark, Configuration(CORE_I5_32, 2, 2, 1.2))
+        assert slow.seconds.value > fast.seconds.value

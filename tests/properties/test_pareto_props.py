@@ -1,0 +1,76 @@
+"""Property-based tests for Pareto-frontier invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.pareto import TradeoffPoint, pareto_efficient
+
+points = st.lists(
+    st.builds(
+        TradeoffPoint,
+        key=st.text(min_size=1, max_size=4),
+        performance=st.floats(min_value=0.01, max_value=100, allow_nan=False),
+        energy=st.floats(min_value=0.01, max_value=100, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+class TestFrontierInvariants:
+    @given(points)
+    def test_frontier_nonempty(self, ps):
+        assert len(pareto_efficient(ps)) >= 1
+
+    @given(points)
+    def test_frontier_subset_of_input(self, ps):
+        frontier = pareto_efficient(ps)
+        for point in frontier:
+            assert point in ps
+
+    @given(points)
+    def test_no_frontier_point_dominated_by_any_input(self, ps):
+        for point in pareto_efficient(ps):
+            assert not any(q.dominates(point) for q in ps)
+
+    @given(points)
+    def test_every_excluded_point_is_dominated(self, ps):
+        frontier = set(map(id, pareto_efficient(ps)))
+        for point in ps:
+            if id(point) not in frontier:
+                assert any(q.dominates(point) for q in ps)
+
+    @given(points)
+    def test_frontier_is_staircase(self, ps):
+        """Sorted by performance, frontier energies never decrease... more
+        precisely: for any two frontier points, the faster one must not
+        also be strictly cheaper (else it would dominate)."""
+        frontier = pareto_efficient(ps)
+        for i in range(len(frontier) - 1):
+            slower, faster = frontier[i], frontier[i + 1]
+            if faster.performance > slower.performance:
+                assert faster.energy >= slower.energy
+
+    @given(points)
+    def test_idempotent(self, ps):
+        once = pareto_efficient(ps)
+        twice = pareto_efficient(once)
+        assert list(twice) == list(once)
+
+    @given(points)
+    def test_best_performance_always_on_frontier(self, ps):
+        best = max(ps, key=lambda p: (p.performance, -p.energy))
+        frontier = pareto_efficient(ps)
+        assert any(
+            p.performance == best.performance and p.energy == best.energy
+            for p in frontier
+        )
+
+    @given(points)
+    def test_lowest_energy_always_on_frontier(self, ps):
+        best = min(ps, key=lambda p: (p.energy, -p.performance))
+        frontier = pareto_efficient(ps)
+        assert any(
+            p.performance == best.performance and p.energy == best.energy
+            for p in frontier
+        )

@@ -1,0 +1,54 @@
+"""Property-based tests for quantities: dimensional algebra laws."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.quantities import Joules, Seconds, Watts, average_power, energy
+
+finite = st.floats(
+    min_value=1e-6, max_value=1e9, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAlgebraLaws:
+    @given(finite, finite)
+    def test_addition_commutes(self, a, b):
+        assert (Watts(a) + Watts(b)).value == pytest.approx(
+            (Watts(b) + Watts(a)).value
+        )
+
+    @given(finite, finite, finite)
+    def test_addition_associates(self, a, b, c):
+        left = (Watts(a) + Watts(b)) + Watts(c)
+        right = Watts(a) + (Watts(b) + Watts(c))
+        assert left.value == pytest.approx(right.value)
+
+    @given(finite, finite)
+    def test_scaling_distributes(self, a, k):
+        assert (Watts(a) * k).value == pytest.approx(a * k)
+
+    @given(finite)
+    def test_self_ratio_is_one(self, a):
+        assert Seconds(a) / Seconds(a) == pytest.approx(1.0)
+
+
+class TestEnergyLaws:
+    @given(finite, finite)
+    def test_energy_power_round_trip(self, watts, seconds):
+        joules = energy(Watts(watts), Seconds(seconds))
+        assert average_power(joules, Seconds(seconds)).value == pytest.approx(
+            watts, rel=1e-9
+        )
+
+    @given(finite, finite, finite)
+    def test_energy_additive_over_time(self, watts, t1, t2):
+        split = energy(Watts(watts), Seconds(t1)) + energy(Watts(watts), Seconds(t2))
+        whole = energy(Watts(watts), Seconds(t1 + t2))
+        assert split.value == pytest.approx(whole.value, rel=1e-9)
+
+    @given(finite, finite)
+    def test_energy_monotone_in_power(self, watts, seconds):
+        assert energy(Watts(watts * 2), Seconds(seconds)).value > energy(
+            Watts(watts), Seconds(seconds)
+        ).value

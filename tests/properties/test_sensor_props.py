@@ -1,0 +1,93 @@
+"""Property-based tests for the measurement pipeline."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.core.quantities import Amperes, Seconds
+from repro.execution.trace import PowerTrace
+from repro.measurement.calibration import calibrate
+from repro.measurement.logger import DataLogger
+from repro.measurement.sensor import HallEffectSensor
+from repro.measurement.supply import ProcessorSupply
+
+keys = st.text(
+    alphabet="abcdefghij", min_size=1, max_size=6
+)
+
+
+class TestSensorProperties:
+    @given(keys, st.floats(min_value=-5.0, max_value=5.0, allow_nan=False))
+    def test_output_within_adc_range(self, key, amps):
+        sensor = HallEffectSensor(key)
+        out = sensor.output_volts(Amperes(amps))
+        assert 0.0 <= out.value <= 5.0
+
+    @given(keys, st.floats(min_value=0.1, max_value=4.5, allow_nan=False),
+           st.floats(min_value=0.1, max_value=4.5, allow_nan=False))
+    def test_noiseless_output_monotone(self, key, a, b):
+        sensor = HallEffectSensor(key, noise_fraction=0.0)
+        lo, hi = sorted((a, b))
+        assert sensor.output_volts(Amperes(lo)).value <= sensor.output_volts(
+            Amperes(hi)
+        ).value
+
+    @settings(max_examples=20, deadline=None)
+    @given(keys)
+    def test_every_device_calibrates_to_paper_quality(self, key):
+        """Any manufactured device (random gain/offset within spec) must
+        pass the paper's 0.999 calibration bar."""
+        calibration = calibrate(HallEffectSensor(key))
+        assert calibration.r_squared >= 0.999
+
+
+class TestEndToEndMeasurementProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        keys,
+        st.floats(min_value=6.0, max_value=55.0, allow_nan=False),
+        st.floats(min_value=5.0, max_value=100.0, allow_nan=False),
+    )
+    def test_constant_power_recovered_within_four_percent(
+        self, key, watts, seconds
+    ):
+        # One ADC code is worth ~0.3 W: at the low end of the sweep the
+        # deterministic quantisation bias alone approaches 3%, so the
+        # recovered value is asserted within 4%.
+        """Whatever constant power the chip draws within the 5 A sensor's
+        span, the calibrated pipeline recovers it closely."""
+        sensor = HallEffectSensor(key)
+        supply = ProcessorSupply(key)
+        logger = DataLogger(sensor=sensor, supply=supply)
+        calibration = calibrate(sensor)
+        trace = PowerTrace(Seconds(seconds), (seconds,), (watts,))
+        logged = logger.log(trace, run_salt="prop")
+        amps = (logged.codes.astype(float) - calibration.fit.intercept) / calibration.fit.slope
+        measured = float(np.mean(amps) * 12.0)
+        assert measured == pytest.approx(watts, rel=0.04)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(min_value=5.0, max_value=30.0, allow_nan=False),
+        st.floats(min_value=30.0, max_value=55.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=0.9, allow_nan=False),
+    )
+    def test_two_phase_average_respects_weights(self, low, high, split):
+        """Measured average of a two-level trace lands between the levels,
+        near the time-weighted truth."""
+        sensor = HallEffectSensor("two-phase")
+        supply = ProcessorSupply("two-phase")
+        logger = DataLogger(sensor=sensor, supply=supply)
+        calibration = calibrate(sensor)
+        duration = 50.0
+        trace = PowerTrace(
+            Seconds(duration),
+            (split * duration, duration),
+            (low, high),
+        )
+        logged = logger.log(trace, run_salt="prop2")
+        amps = (logged.codes.astype(float) - calibration.fit.intercept) / calibration.fit.slope
+        measured = float(np.mean(amps) * 12.0)
+        truth = trace.average_power().value
+        assert measured == pytest.approx(truth, rel=0.05)

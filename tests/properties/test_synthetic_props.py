@@ -1,0 +1,88 @@
+"""Property-based tests driving the engine with *generated* workloads.
+
+The catalog's 61 signatures are hand-set; these tests use the synthetic
+builder as a hypothesis strategy so the engine's physical invariants are
+checked over the whole signature space, not just the catalog's corner of
+it.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.execution.engine import default_engine
+from repro.hardware.catalog import CORE_I5_32, CORE_I7_45
+from repro.hardware.config import Configuration, stock
+from repro.workloads.synthetic import synthetic
+
+fractions = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+parallel = st.floats(min_value=0.0, max_value=0.98, allow_nan=False)
+
+
+@st.composite
+def workloads(draw):
+    return synthetic(
+        name=f"gen-{draw(st.integers(min_value=0, max_value=10**6))}",
+        boundness=draw(fractions),
+        branchiness=draw(fractions),
+        parallelism=draw(parallel),
+        managed=draw(st.booleans()),
+        reference_seconds=draw(
+            st.floats(min_value=0.5, max_value=100.0, allow_nan=False)
+        ),
+    )
+
+
+class TestGeneratedWorkloads:
+    @settings(max_examples=40, deadline=None)
+    @given(workloads())
+    def test_physical_sanity_on_stock_i7(self, bench):
+        execution = default_engine().ideal(bench, stock(CORE_I7_45))
+        assert execution.seconds.value > 0
+        assert 10.0 < execution.average_power.value < CORE_I7_45.tdp_w
+        assert 0.0 < execution.events.ipc < 4.0
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads())
+    def test_reference_calibration_closes(self, bench):
+        from repro.core.statistics import mean
+        from repro.hardware.catalog import reference_processors
+
+        engine = default_engine()
+        times = [
+            engine.ideal(bench, stock(spec)).seconds.value
+            for spec in reference_processors()
+        ]
+        assert mean(times) == pytest.approx(bench.reference_seconds, rel=1e-6)
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads())
+    def test_more_contexts_never_slower(self, bench):
+        engine = default_engine()
+        one = engine.ideal(bench, Configuration(CORE_I7_45, 1, 1, 2.66))
+        eight = engine.ideal(bench, Configuration(CORE_I7_45, 4, 2, 2.66))
+        assert eight.seconds.value <= one.seconds.value * 1.001
+
+    @settings(max_examples=30, deadline=None)
+    @given(workloads())
+    def test_downclock_slower_but_cheaper_power(self, bench):
+        engine = default_engine()
+        fast = engine.ideal(bench, Configuration(CORE_I5_32, 2, 2, 3.46))
+        slow = engine.ideal(bench, Configuration(CORE_I5_32, 2, 2, 1.2))
+        assert slow.seconds.value > fast.seconds.value
+        assert slow.average_power.value < fast.average_power.value
+
+    @settings(max_examples=25, deadline=None)
+    @given(fractions, fractions)
+    def test_boundness_monotone_in_power(self, low, high):
+        """More memory-bound means less switching: power never rises with
+        boundness, all else equal."""
+        lo, hi = sorted((low, high))
+        engine = default_engine()
+        cool = engine.ideal(
+            synthetic("p-hi", boundness=hi), stock(CORE_I7_45)
+        ).average_power.value
+        hot = engine.ideal(
+            synthetic("p-lo", boundness=lo), stock(CORE_I7_45)
+        ).average_power.value
+        assert cool <= hot + 1e-6

@@ -1,0 +1,113 @@
+"""Unit tests for the group aggregation of §2.6."""
+
+import pytest
+
+from repro.core.aggregation import (
+    benchmark_average,
+    full_aggregate,
+    group_means,
+    per_group_ratio,
+    ratio_of_aggregates,
+    weighted_average,
+)
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import BENCHMARKS, by_group
+
+
+def _values(value_by_group: dict[Group, float]) -> dict[str, float]:
+    """One value per benchmark, constant within each group."""
+    return {
+        b.name: value_by_group[b.group] for b in BENCHMARKS
+    }
+
+
+class TestGroupMeans:
+    def test_constant_groups_recovered(self):
+        values = _values({g: float(i) for i, g in enumerate(Group, start=1)})
+        means = group_means(values, BENCHMARKS)
+        for i, group in enumerate(Group, start=1):
+            assert means[group] == pytest.approx(float(i))
+
+    def test_missing_benchmarks_ignored(self):
+        some = {b.name: 2.0 for b in by_group(Group.NATIVE_SCALABLE)}
+        means = group_means(some, BENCHMARKS)
+        assert set(means) == {Group.NATIVE_SCALABLE}
+
+    def test_arithmetic_mean_within_group(self):
+        ns = by_group(Group.NATIVE_SCALABLE)
+        values = {b.name: float(i) for i, b in enumerate(ns)}
+        means = group_means(values, BENCHMARKS)
+        assert means[Group.NATIVE_SCALABLE] == pytest.approx(
+            sum(range(len(ns))) / len(ns)
+        )
+
+
+class TestWeightedAverage:
+    def test_equal_group_weighting(self):
+        # 27 NN benchmarks at 1.0 must not outvote 5 JS benchmarks at 3.0.
+        values = _values(
+            {
+                Group.NATIVE_NONSCALABLE: 1.0,
+                Group.NATIVE_SCALABLE: 1.0,
+                Group.JAVA_NONSCALABLE: 1.0,
+                Group.JAVA_SCALABLE: 3.0,
+            }
+        )
+        avg_w = weighted_average(group_means(values, BENCHMARKS))
+        assert avg_w == pytest.approx(1.5)
+
+    def test_differs_from_benchmark_average(self):
+        values = _values(
+            {
+                Group.NATIVE_NONSCALABLE: 1.0,
+                Group.NATIVE_SCALABLE: 1.0,
+                Group.JAVA_NONSCALABLE: 1.0,
+                Group.JAVA_SCALABLE: 3.0,
+            }
+        )
+        avg_b = benchmark_average(values)
+        # 5 of 61 benchmarks at 3.0: Avg_b stays near 1.16.
+        assert avg_b == pytest.approx(1.0 + 2.0 * 5 / 61)
+        assert avg_b < weighted_average(group_means(values, BENCHMARKS))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_average({})
+
+
+class TestFullAggregate:
+    def test_has_table4_columns(self):
+        values = {b.name: 1.0 for b in BENCHMARKS}
+        row = full_aggregate(values, BENCHMARKS)
+        for column in ("Avg_w", "Avg_b", "Min", "Max"):
+            assert column in row
+        for group in Group:
+            assert group.value in row
+
+    def test_min_max(self):
+        values = {b.name: float(i) for i, b in enumerate(BENCHMARKS, start=1)}
+        row = full_aggregate(values, BENCHMARKS)
+        assert row["Min"] == 1.0
+        assert row["Max"] == float(len(BENCHMARKS))
+
+
+class TestRatios:
+    def test_ratio_of_identical_sides_is_one(self):
+        values = {b.name: 2.0 for b in BENCHMARKS}
+        assert ratio_of_aggregates(values, values, BENCHMARKS) == pytest.approx(1.0)
+
+    def test_ratio_is_mean_of_per_benchmark_ratios(self):
+        num = {b.name: 3.0 for b in BENCHMARKS}
+        den = {b.name: 1.5 for b in BENCHMARKS}
+        assert ratio_of_aggregates(num, den, BENCHMARKS) == pytest.approx(2.0)
+
+    def test_disjoint_sides_rejected(self):
+        with pytest.raises(ValueError):
+            ratio_of_aggregates({"a": 1.0}, {"b": 1.0}, BENCHMARKS)
+
+    def test_per_group_ratio_groups(self):
+        num = _values({g: 2.0 for g in Group})
+        den = _values({g: 1.0 for g in Group})
+        ratios = per_group_ratio(num, den, BENCHMARKS)
+        assert set(ratios) == set(Group)
+        assert all(v == pytest.approx(2.0) for v in ratios.values())

@@ -1,0 +1,132 @@
+"""Unit tests for the analysis drill-downs and bar rendering."""
+
+import pytest
+
+from repro.analysis.cpi_stacks import across_machines, render, stack_for
+from repro.analysis.power_attribution import attribute
+from repro.analysis.power_attribution import render as render_power
+from repro.analysis.tdp_regression import regress
+from repro.hardware.catalog import ATOM_45, CORE_I7_45, PENTIUM4_130, PROCESSORS
+from repro.hardware.config import Configuration, stock
+from repro.reporting.bars import StackSegment, bar_chart, stacked_bars
+from repro.workloads.catalog import benchmark
+
+
+class TestBarChart:
+    def test_renders_labels_and_bars(self):
+        text = bar_chart({"a": 2.0, "b": 1.0})
+        assert "a" in text and "#" in text
+
+    def test_baseline_flips_direction(self):
+        text = bar_chart({"saves": 0.8, "costs": 1.3}, baseline=1.0)
+        saves_line = next(l for l in text.splitlines() if l.startswith("saves"))
+        costs_line = next(l for l in text.splitlines() if l.startswith("costs"))
+        assert "-" in saves_line
+        assert "#" in costs_line
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_constant_values_no_crash(self):
+        assert "a" in bar_chart({"a": 1.0, "b": 1.0}, baseline=1.0)
+
+
+class TestStackedBars:
+    def test_legend_and_scale(self):
+        rows = {
+            "x": (StackSegment("p", 1.0, "p"), StackSegment("q", 1.0, "q")),
+            "y": (StackSegment("p", 4.0, "p"),),
+        }
+        text = stacked_bars(rows, width=40)
+        assert "p=p" in text and "q=q" in text
+        x_line = next(l for l in text.splitlines() if l.startswith("x"))
+        y_line = next(l for l in text.splitlines() if l.startswith("y"))
+        assert y_line.count("p") > x_line.count("p")
+
+    def test_negative_segment_rejected(self):
+        with pytest.raises(ValueError):
+            StackSegment("p", -1.0, "p")
+
+
+class TestCpiStacks:
+    def test_segments_sum_to_total(self):
+        stack = stack_for(benchmark("mcf"), stock(CORE_I7_45))
+        assert sum(s.value for s in stack.segments) == pytest.approx(
+            stack.breakdown.total
+        )
+
+    def test_mcf_memory_dominated_everywhere(self):
+        for stack in across_machines(benchmark("mcf"), PROCESSORS):
+            parts = {s.label: s.value for s in stack.segments}
+            assert parts["memory"] == max(parts.values()), stack.processor
+
+    def test_hmmer_issue_dominated_on_ooo(self):
+        stack = stack_for(benchmark("hmmer"), stock(CORE_I7_45))
+        parts = {s.label: s.value for s in stack.segments}
+        assert parts["issue"] == max(parts.values())
+
+    def test_p4_branch_share_largest(self):
+        """The deep NetBurst pipeline pays the most per misprediction."""
+        p4 = stack_for(benchmark("sjeng"), stock(PENTIUM4_130))
+        i7 = stack_for(benchmark("sjeng"), stock(CORE_I7_45))
+        assert p4.breakdown.branch > i7.breakdown.branch
+
+    def test_render(self):
+        text = render(across_machines(benchmark("mcf"), (CORE_I7_45, ATOM_45)))
+        assert "m=memory" in text
+        assert "i7 (45) / mcf" in text
+
+
+class TestPowerAttribution:
+    def test_parts_sum_to_average_power(self, engine):
+        execution = engine.ideal(benchmark("xalan"), stock(CORE_I7_45))
+        attribution = attribute(execution)
+        assert attribution.total == pytest.approx(
+            execution.average_power.value, rel=1e-6
+        )
+
+    def test_active_share_rises_with_parallelism(self, engine):
+        one = attribute(
+            engine.ideal(benchmark("xalan"), Configuration(CORE_I7_45, 1, 1, 2.66))
+        )
+        eight = attribute(
+            engine.ideal(benchmark("xalan"), Configuration(CORE_I7_45, 4, 2, 2.66))
+        )
+        assert eight.share("core_active") > one.share("core_active")
+
+    def test_atom_uncore_heavy(self, engine):
+        """Small cores behind an in-package GPU/chipset: the uncore is the
+        biggest consumer on the Atoms."""
+        from repro.hardware.catalog import ATOM_D510_45
+
+        execution = engine.ideal(benchmark("mcf"), stock(ATOM_D510_45))
+        attribution = attribute(execution)
+        assert attribution.share("uncore") > 0.4
+
+    def test_render(self, engine):
+        execution = engine.ideal(benchmark("xalan"), stock(CORE_I7_45))
+        text = render_power({"i7": attribute(execution)})
+        assert "u=uncore" in text
+
+
+class TestTdpRegression:
+    def test_loose_positive_correlation(self, study):
+        regression = regress(study)
+        assert regression.fit.slope > 0
+        assert 0.5 < regression.r_squared < 0.999
+
+    def test_tdp_always_overestimates(self, study):
+        regression = regress(study)
+        for label, tdp, watts, ratio in regression.machines:
+            assert ratio > 1.0, label
+
+    def test_ratio_spread_shows_tdp_misranks(self, study):
+        """§2.5: TDP is unusable for comparing among processors — the
+        TDP-to-measured ratio varies widely across machines."""
+        assert regress(study).ratio_spread > 1.5
+
+    def test_i7_most_overestimated(self, study):
+        regression = regress(study)
+        ratios = {label: ratio for label, _, _, ratio in regression.machines}
+        assert ratios["i7 (45)"] > 2.0

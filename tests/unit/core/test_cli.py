@@ -1,0 +1,73 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, *argv) -> str:
+    assert main(list(argv)) == 0
+    return capsys.readouterr().out
+
+
+class TestList:
+    def test_processors(self, capsys):
+        out = _run(capsys, "list", "processors")
+        assert "i7_45" in out
+        assert "Nehalem" in out
+
+    def test_benchmarks(self, capsys):
+        out = _run(capsys, "list", "benchmarks")
+        assert "fluidanimate" in out
+        assert out.count("\n") >= 61
+
+    def test_configurations(self, capsys):
+        out = _run(capsys, "list", "configurations")
+        assert out.count("\n") >= 45
+
+    def test_experiments(self, capsys):
+        out = _run(capsys, "list", "experiments")
+        assert "fig12" in out
+        assert "ext_thermal" in out
+
+
+class TestMeasure:
+    def test_stock_measurement(self, capsys):
+        out = _run(capsys, "--quick", "measure", "db", "atom_45")
+        assert "atom_45" in out
+        assert "db" in out
+
+    def test_configured_measurement(self, capsys):
+        out = _run(
+            capsys, "--quick", "measure", "xalan", "i7_45",
+            "--cores", "2", "--threads", "1", "--clock", "1.6",
+        )
+        assert "i7_45/2C1T@1.6-TB" in out
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(KeyError):
+            main(["--quick", "measure", "nope", "i7_45"])
+
+
+class TestOtherCommands:
+    def test_experiment(self, capsys):
+        out = _run(capsys, "--quick", "experiment", "table3")
+        assert "Table 3" in out
+
+    def test_extension_experiment(self, capsys):
+        out = _run(capsys, "--quick", "experiment", "ext_thermal")
+        assert "Thermal headroom" in out
+
+    def test_figure(self, capsys):
+        out = _run(capsys, "--quick", "figure", "fig11")
+        assert "power (W)" in out
+
+    def test_dataset(self, capsys, tmp_path):
+        out_path = tmp_path / "d.csv"
+        out = _run(capsys, "--quick", "dataset", str(out_path))
+        assert "488 rows" in out  # 8 stock configs x 61 benchmarks
+        assert out_path.exists()
+
+    def test_bad_command_exits(self):
+        with pytest.raises(SystemExit):
+            main(["explode"])

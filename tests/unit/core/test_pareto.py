@@ -1,0 +1,104 @@
+"""Unit tests for the Pareto analysis (§4.2)."""
+
+import pytest
+
+from repro.core.pareto import (
+    TradeoffPoint,
+    fit_frontier,
+    pareto_efficient,
+)
+
+
+def _p(key: str, perf: float, energy: float) -> TradeoffPoint:
+    return TradeoffPoint(key=key, performance=perf, energy=energy)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert _p("a", 2.0, 0.5).dominates(_p("b", 1.0, 1.0))
+
+    def test_equal_points_do_not_dominate(self):
+        a, b = _p("a", 1.0, 1.0), _p("b", 1.0, 1.0)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+    def test_tradeoff_points_do_not_dominate(self):
+        fast_hungry = _p("a", 2.0, 2.0)
+        slow_frugal = _p("b", 1.0, 1.0)
+        assert not fast_hungry.dominates(slow_frugal)
+        assert not slow_frugal.dominates(fast_hungry)
+
+    def test_better_on_one_axis_equal_other(self):
+        assert _p("a", 2.0, 1.0).dominates(_p("b", 1.0, 1.0))
+        assert _p("a", 1.0, 0.5).dominates(_p("b", 1.0, 1.0))
+
+    def test_invalid_point_rejected(self):
+        with pytest.raises(ValueError):
+            _p("a", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            _p("a", 1.0, -1.0)
+
+
+class TestEfficientSet:
+    def test_dominated_point_removed(self):
+        points = [_p("good", 2.0, 0.5), _p("bad", 1.0, 1.0)]
+        assert [p.key for p in pareto_efficient(points)] == ["good"]
+
+    def test_tradeoff_chain_all_kept(self):
+        points = [_p("a", 1.0, 0.3), _p("b", 2.0, 0.5), _p("c", 3.0, 1.0)]
+        assert len(pareto_efficient(points)) == 3
+
+    def test_result_sorted_by_performance(self):
+        points = [_p("c", 3.0, 1.0), _p("a", 1.0, 0.3), _p("b", 2.0, 0.5)]
+        assert [p.key for p in pareto_efficient(points)] == ["a", "b", "c"]
+
+    def test_interior_point_removed(self):
+        points = [
+            _p("a", 1.0, 0.3),
+            _p("mid", 1.5, 0.9),  # dominated by c on perf, a on energy? no —
+            _p("c", 3.0, 1.0),
+        ]
+        # 'mid' is NOT dominated: c is faster but hungrier; a is frugal but slower.
+        assert len(pareto_efficient(points)) == 3
+
+    def test_truly_dominated_interior(self):
+        points = [_p("a", 1.0, 0.3), _p("bad", 0.9, 0.4), _p("c", 3.0, 1.0)]
+        assert {p.key for p in pareto_efficient(points)} == {"a", "c"}
+
+    def test_duplicates_survive(self):
+        points = [_p("a", 1.0, 1.0), _p("b", 1.0, 1.0)]
+        assert len(pareto_efficient(points)) == 2
+
+    def test_single_point(self):
+        assert len(pareto_efficient([_p("only", 1.0, 1.0)])) == 1
+
+
+class TestFrontierCurve:
+    def test_fits_through_two_points_linearly(self):
+        curve = fit_frontier([_p("a", 1.0, 1.0), _p("b", 2.0, 2.0)])
+        assert curve.energy_at(1.5) == pytest.approx(1.5)
+
+    def test_series_spans_range(self):
+        curve = fit_frontier([_p("a", 1.0, 1.0), _p("b", 3.0, 2.0)])
+        series = curve.series(5)
+        assert series[0][0] == pytest.approx(1.0)
+        assert series[-1][0] == pytest.approx(3.0)
+        assert len(series) == 5
+
+    def test_quadratic_fit_exact_on_parabola(self):
+        points = [_p(str(x), float(x), float(x * x)) for x in (1, 2, 3, 4)]
+        curve = fit_frontier(points, degree=2)
+        assert curve.energy_at(2.5) == pytest.approx(6.25, rel=1e-6)
+
+    def test_degree_clamped_to_points(self):
+        curve = fit_frontier([_p("a", 1.0, 1.0), _p("b", 2.0, 3.0)], degree=5)
+        assert len(curve.coefficients) == 2  # linear
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            fit_frontier([_p("a", 1.0, 1.0)])
+
+    def test_series_needs_two_samples(self):
+        curve = fit_frontier([_p("a", 1.0, 1.0), _p("b", 2.0, 2.0)])
+        with pytest.raises(ValueError):
+            curve.series(1)

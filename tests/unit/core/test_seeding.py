@@ -1,0 +1,37 @@
+"""Unit tests for deterministic seeding."""
+
+from repro.core.seeding import rng_for, run_key, seed_from_key
+
+
+class TestSeeds:
+    def test_same_key_same_seed(self):
+        assert seed_from_key("a") == seed_from_key("a")
+
+    def test_different_keys_differ(self):
+        assert seed_from_key("a") != seed_from_key("b")
+
+    def test_root_changes_seed(self):
+        assert seed_from_key("a", root="x") != seed_from_key("a", root="y")
+
+    def test_seed_fits_64_bits(self):
+        assert 0 <= seed_from_key("anything") < 2**64
+
+
+class TestGenerators:
+    def test_identical_streams_for_same_key(self):
+        a = rng_for("sensor/i7").normal(size=10)
+        b = rng_for("sensor/i7").normal(size=10)
+        assert (a == b).all()
+
+    def test_independent_streams_for_different_keys(self):
+        a = rng_for("sensor/i7").normal(size=10)
+        b = rng_for("sensor/i5").normal(size=10)
+        assert (a != b).any()
+
+
+class TestRunKey:
+    def test_joins_parts(self):
+        assert run_key("a", 1, 2.5) == "a/1/2.5"
+
+    def test_distinct_structures_distinct_keys(self):
+        assert run_key("a", "b/c") != run_key("a", "b", "d")

@@ -1,0 +1,139 @@
+"""Unit tests for the statistics primitives (Table 2, §2.5 machinery)."""
+
+import math
+
+import pytest
+
+from repro.core.statistics import (
+    confidence_interval,
+    geometric_mean,
+    linear_fit,
+    mean,
+    relative_range,
+    sample_std,
+)
+
+
+class TestMean:
+    def test_simple(self):
+        assert mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert mean([5.0]) == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+
+class TestStd:
+    def test_known_value(self):
+        assert sample_std([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]) == pytest.approx(
+            2.138, abs=1e-3
+        )
+
+    def test_single_sample_is_zero(self):
+        assert sample_std([3.0]) == 0.0
+
+    def test_constant_samples(self):
+        assert sample_std([2.0, 2.0, 2.0]) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            sample_std([])
+
+
+class TestConfidenceInterval:
+    def test_symmetry(self):
+        ci = confidence_interval([9.0, 10.0, 11.0])
+        assert ci.upper - ci.mean == pytest.approx(ci.mean - ci.lower)
+
+    def test_contains_mean(self):
+        ci = confidence_interval([9.0, 10.0, 11.0])
+        assert ci.contains(10.0)
+
+    def test_single_sample_zero_width(self):
+        ci = confidence_interval([10.0])
+        assert ci.half_width == 0.0
+        assert ci.relative_error == 0.0
+
+    def test_constant_samples_zero_width(self):
+        ci = confidence_interval([5.0] * 10)
+        assert ci.half_width == 0.0
+
+    def test_more_samples_narrow_the_interval(self):
+        few = confidence_interval([9.0, 10.0, 11.0])
+        many = confidence_interval([9.0, 10.0, 11.0] * 10)
+        assert many.half_width < few.half_width
+
+    def test_relative_error(self):
+        ci = confidence_interval([9.0, 10.0, 11.0])
+        assert ci.relative_error == pytest.approx(ci.half_width / 10.0)
+
+    def test_known_t_value(self):
+        # n=3, 95%: t = 4.303; std = 1; half width = 4.303 / sqrt(3)
+        ci = confidence_interval([9.0, 10.0, 11.0])
+        assert ci.half_width == pytest.approx(4.303 / math.sqrt(3), rel=1e-3)
+
+    def test_higher_confidence_wider(self):
+        samples = [9.0, 10.0, 11.0, 10.5]
+        assert (
+            confidence_interval(samples, 0.99).half_width
+            > confidence_interval(samples, 0.95).half_width
+        )
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            confidence_interval([1.0, 2.0], confidence=1.0)
+
+
+class TestLinearFit:
+    def test_perfect_line(self):
+        fit = linear_fit([0.0, 1.0, 2.0], [1.0, 3.0, 5.0])
+        assert fit.slope == pytest.approx(2.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict_and_invert_are_inverse(self):
+        fit = linear_fit([0.0, 1.0, 2.0, 3.0], [1.0, 2.9, 5.1, 7.0])
+        assert fit.invert(fit.predict(1.7)) == pytest.approx(1.7)
+
+    def test_noise_reduces_r_squared(self):
+        clean = linear_fit([0, 1, 2, 3], [0, 2, 4, 6])
+        noisy = linear_fit([0, 1, 2, 3], [0, 2.5, 3.5, 6])
+        assert noisy.r_squared < clean.r_squared
+
+    def test_flat_fit_cannot_invert(self):
+        fit = linear_fit([0.0, 1.0, 2.0], [3.0, 3.0, 3.0])
+        with pytest.raises(ValueError):
+            fit.invert(3.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0, 2.0])
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [1.0])
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestRelativeRange:
+    def test_known_value(self):
+        assert relative_range([2.0, 2.6]) == pytest.approx(0.3)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            relative_range([0.0, 1.0])

@@ -1,0 +1,76 @@
+"""Unit tests for the study harness."""
+
+import pytest
+
+from repro.core.study import Study
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.runtime.methodology import protocol_for
+from repro.workloads.catalog import benchmark
+
+
+class TestMeasure:
+    def test_caches_results(self, study):
+        config = stock(ATOM_45)
+        first = study.measure(benchmark("db"), config)
+        second = study.measure(benchmark("db"), config)
+        assert first is second
+
+    def test_result_identity(self, study):
+        result = study.measure(benchmark("db"), stock(ATOM_45))
+        assert result.benchmark_name == "db"
+        assert result.processor_key == "atom_45"
+        assert result.seconds > 0
+        assert result.watts > 0
+
+    def test_invocation_scale_reduces_runs(self, references):
+        quick = Study(references=references, invocation_scale=0.2)
+        result = quick.measure(benchmark("db"), stock(ATOM_45))
+        paper_invocations = protocol_for(benchmark("db")).invocations
+        assert result.invocations == max(1, -(-paper_invocations * 20 // 100))
+        assert result.invocations < paper_invocations
+
+    def test_full_protocol_java_invocations(self, full_study):
+        result = full_study.measure(benchmark("db"), stock(ATOM_45))
+        assert result.invocations == 20
+
+    def test_full_protocol_native_invocations(self, full_study):
+        spec = full_study.measure(benchmark("mcf"), stock(ATOM_45))
+        parsec = full_study.measure(benchmark("vips"), stock(ATOM_45))
+        assert spec.invocations == 3
+        assert parsec.invocations == 5
+
+    def test_invalid_scale_rejected(self, references):
+        with pytest.raises(ValueError):
+            Study(references=references, invocation_scale=0.0)
+
+
+class TestRun:
+    def test_run_config_covers_benchmarks(self, study):
+        subset = (benchmark("db"), benchmark("mcf"))
+        results = study.run_config(stock(ATOM_45), subset)
+        assert {r.benchmark_name for r in results} == {"db", "mcf"}
+
+    def test_run_many_configs(self, study):
+        subset = (benchmark("db"),)
+        results = study.run((stock(ATOM_45), stock(CORE_I7_45)), subset)
+        assert len(results) == 2
+        assert set(results.config_keys()) == {
+            stock(ATOM_45).key,
+            stock(CORE_I7_45).key,
+        }
+
+
+class TestDeterminism:
+    def test_two_studies_agree_exactly(self, references):
+        a = Study(references=references, invocation_scale=0.2)
+        b = Study(references=references, invocation_scale=0.2)
+        config = stock(ATOM_45)
+        ra = a.measure(benchmark("db"), config)
+        rb = b.measure(benchmark("db"), config)
+        assert ra.seconds == rb.seconds
+        assert ra.watts == rb.watts
+
+    def test_java_runs_vary_between_invocations(self, full_study):
+        result = full_study.measure(benchmark("db"), stock(ATOM_45))
+        assert result.time_ci.half_width > 0.0

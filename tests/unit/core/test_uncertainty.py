@@ -1,0 +1,83 @@
+"""Unit tests for uncertainty propagation."""
+
+import math
+
+import pytest
+
+from repro.core.statistics import ConfidenceInterval
+from repro.core.uncertainty import (
+    energy_interval,
+    product_interval,
+    quotient_interval,
+    ratio_interval,
+)
+
+
+def _ci(mean, rel, n=5, confidence=0.95) -> ConfidenceInterval:
+    return ConfidenceInterval(
+        mean=mean, half_width=abs(mean) * rel, confidence=confidence, n=n
+    )
+
+
+class TestProduct:
+    def test_mean_multiplies(self):
+        ci = product_interval(_ci(10.0, 0.01), _ci(3.0, 0.02))
+        assert ci.mean == pytest.approx(30.0)
+
+    def test_relative_errors_add_in_quadrature(self):
+        ci = product_interval(_ci(10.0, 0.03), _ci(3.0, 0.04))
+        assert ci.relative_error == pytest.approx(0.05)
+
+    def test_exact_factor_is_transparent(self):
+        ci = product_interval(_ci(10.0, 0.02), _ci(3.0, 0.0))
+        assert ci.relative_error == pytest.approx(0.02)
+
+    def test_n_is_conservative(self):
+        ci = product_interval(_ci(1.0, 0.01, n=3), _ci(1.0, 0.01, n=20))
+        assert ci.n == 3
+
+    def test_mixed_confidence_rejected(self):
+        with pytest.raises(ValueError):
+            product_interval(_ci(1.0, 0.01), _ci(1.0, 0.01, confidence=0.99))
+
+
+class TestQuotient:
+    def test_mean_divides(self):
+        ci = quotient_interval(_ci(10.0, 0.01), _ci(4.0, 0.01))
+        assert ci.mean == pytest.approx(2.5)
+
+    def test_relative_error_quadrature(self):
+        ci = quotient_interval(_ci(10.0, 0.03), _ci(4.0, 0.04))
+        assert ci.relative_error == pytest.approx(0.05)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(ValueError):
+            quotient_interval(_ci(1.0, 0.01), _ci(0.0, 0.01))
+
+
+class TestOnRealResults:
+    def test_energy_interval_wider_than_parts(self, full_study):
+        from repro.hardware.catalog import ATOM_45
+        from repro.hardware.config import stock
+        from repro.workloads.catalog import benchmark
+
+        result = full_study.measure(benchmark("db"), stock(ATOM_45))
+        energy = energy_interval(result)
+        assert energy.mean == pytest.approx(result.energy_joules, rel=1e-9)
+        assert energy.relative_error >= result.time_ci.relative_error
+        assert energy.relative_error >= result.power_ci.relative_error
+        assert energy.relative_error <= math.hypot(
+            result.time_ci.relative_error, result.power_ci.relative_error
+        ) + 1e-12
+
+    def test_ratio_interval_metric_selection(self, full_study):
+        from repro.hardware.catalog import ATOM_45
+        from repro.hardware.config import stock
+        from repro.workloads.catalog import benchmark
+
+        a = full_study.measure(benchmark("db"), stock(ATOM_45))
+        b = full_study.measure(benchmark("jess"), stock(ATOM_45))
+        ratio = ratio_interval(a, b, "seconds")
+        assert ratio.mean == pytest.approx(a.seconds / b.seconds)
+        with pytest.raises(KeyError):
+            ratio_interval(a, b, "volts")

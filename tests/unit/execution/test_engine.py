@@ -1,0 +1,163 @@
+"""Unit tests for the execution engine."""
+
+import pytest
+
+from repro.execution.engine import ExecutionEngine
+from repro.hardware.catalog import ATOM_45, CORE2DUO_65, CORE_I7_45
+from repro.hardware.config import Configuration, stock
+from repro.runtime.heap import HeapPolicy
+from repro.workloads.catalog import benchmark
+
+
+class TestBasicExecution:
+    def test_execution_has_positive_time_and_power(self, engine):
+        ex = engine.ideal(benchmark("db"), stock(CORE_I7_45))
+        assert ex.seconds.value > 0
+        assert ex.average_power.value > 0
+
+    def test_phase_durations_sum_to_total(self, engine):
+        ex = engine.ideal(benchmark("fluidanimate"), stock(CORE_I7_45))
+        assert sum(p.seconds for p in ex.phases) == pytest.approx(ex.seconds.value)
+
+    def test_single_threaded_has_one_phase(self, engine):
+        ex = engine.ideal(benchmark("mcf"), stock(CORE_I7_45))
+        assert len(ex.phases) == 1
+        assert ex.phases[0].name == "serial"
+
+    def test_parallel_workload_has_two_phases(self, engine):
+        ex = engine.ideal(benchmark("fluidanimate"), stock(CORE_I7_45))
+        assert [p.name for p in ex.phases] == ["serial", "parallel"]
+
+    def test_energy_consistent(self, engine):
+        ex = engine.ideal(benchmark("db"), stock(CORE_I7_45))
+        assert ex.energy.value == pytest.approx(
+            ex.average_power.value * ex.seconds.value
+        )
+
+    def test_events_populated(self, engine):
+        ex = engine.ideal(benchmark("db"), stock(CORE_I7_45))
+        assert ex.events.instructions > 0
+        assert ex.events.cycles > 0
+        assert ex.events.ipc > 0.1
+
+
+class TestScalingBehaviour:
+    def test_parsec_scales_on_i7(self, engine):
+        """§2.1: PARSEC improves ~3.8x over eight contexts on the i7."""
+        one = engine.ideal(benchmark("blackscholes"), Configuration(CORE_I7_45, 1, 1, 2.66))
+        eight = engine.ideal(benchmark("blackscholes"), Configuration(CORE_I7_45, 4, 2, 2.66))
+        speedup = one.seconds.value / eight.seconds.value
+        assert 3.0 < speedup < 5.5
+
+    def test_native_single_thread_ignores_cores(self, engine):
+        """Native single-threaded work never gains from CMP (§3.1)."""
+        one = engine.ideal(benchmark("mcf"), Configuration(CORE_I7_45, 1, 1, 2.66))
+        four = engine.ideal(benchmark("mcf"), Configuration(CORE_I7_45, 4, 1, 2.66))
+        assert four.seconds.value == pytest.approx(one.seconds.value, rel=1e-6)
+
+    def test_native_single_thread_pays_idle_power(self, engine):
+        one = engine.ideal(benchmark("mcf"), Configuration(CORE_I7_45, 1, 1, 2.66))
+        four = engine.ideal(benchmark("mcf"), Configuration(CORE_I7_45, 4, 1, 2.66))
+        assert four.average_power.value > one.average_power.value
+
+    def test_java_single_thread_gains_from_second_core(self, engine):
+        """Workload Finding 1."""
+        one = engine.ideal(benchmark("db"), Configuration(CORE_I7_45, 1, 1, 2.66))
+        two = engine.ideal(benchmark("db"), Configuration(CORE_I7_45, 2, 1, 2.66))
+        assert one.seconds.value / two.seconds.value > 1.15
+
+    def test_downclocking_slows_and_saves(self, engine):
+        fast = engine.ideal(benchmark("x264"), Configuration(CORE_I7_45, 4, 2, 2.66))
+        slow = engine.ideal(benchmark("x264"), Configuration(CORE_I7_45, 4, 2, 1.6))
+        assert slow.seconds.value > fast.seconds.value
+        assert slow.average_power.value < fast.average_power.value
+
+
+class TestTurboInteraction:
+    def test_single_thread_gets_double_boost(self, engine):
+        ex = engine.ideal(benchmark("mcf"), stock(CORE_I7_45))
+        assert ex.phases[0].turbo.steps == 2
+
+    def test_parallel_phase_single_step(self, engine):
+        ex = engine.ideal(benchmark("fluidanimate"), stock(CORE_I7_45))
+        assert ex.phases[-1].turbo.steps == 1
+
+    def test_disabled_turbo_no_steps(self, engine):
+        ex = engine.ideal(benchmark("mcf"), Configuration(CORE_I7_45, 4, 2, 2.66))
+        assert all(p.turbo.steps == 0 for p in ex.phases)
+
+
+class TestProtocolEffects:
+    def test_warmup_slows_early_iterations(self, engine):
+        config = stock(ATOM_45)
+        first = engine.execute(benchmark("db"), config, iteration=1)
+        fifth = engine.execute(benchmark("db"), config, iteration=5)
+        assert first.seconds.value > fifth.seconds.value
+
+    def test_native_iteration_agnostic(self, engine):
+        config = stock(ATOM_45)
+        a = engine.execute(benchmark("mcf"), config, iteration=1)
+        b = engine.execute(benchmark("mcf"), config, iteration=5)
+        assert a.seconds.value == pytest.approx(b.seconds.value)
+
+    def test_java_invocations_vary(self, engine):
+        config = stock(ATOM_45)
+        times = {
+            engine.execute(benchmark("db"), config, invocation=i).seconds.value
+            for i in range(5)
+        }
+        assert len(times) == 5
+
+    def test_invocations_reproducible(self, engine):
+        config = stock(ATOM_45)
+        a = engine.execute(benchmark("db"), config, invocation=3)
+        b = engine.execute(benchmark("db"), config, invocation=3)
+        assert a.seconds.value == b.seconds.value
+
+
+class TestEngineOptions:
+    def test_disabling_jvm_services(self):
+        plain = ExecutionEngine(jvm_services_enabled=False)
+        with_services = ExecutionEngine()
+        one = Configuration(CORE_I7_45, 1, 1, 2.66)
+        two = Configuration(CORE_I7_45, 2, 1, 2.66)
+        ratio_plain = (
+            plain.ideal(benchmark("db"), one).seconds.value
+            / plain.ideal(benchmark("db"), two).seconds.value
+        )
+        ratio_services = (
+            with_services.ideal(benchmark("db"), one).seconds.value
+            / with_services.ideal(benchmark("db"), two).seconds.value
+        )
+        assert ratio_plain == pytest.approx(1.0, abs=0.01)
+        assert ratio_services > 1.15
+
+    def test_tight_heap_slows_java(self):
+        tight = ExecutionEngine(heap=HeapPolicy(1.5))
+        normal = ExecutionEngine()
+        config = Configuration(CORE_I7_45, 1, 1, 2.66)
+        # Same benchmark work: recalibrate both engines against their own
+        # reference, so compare raw seconds per calibrated instruction count.
+        t = tight.ideal(benchmark("db"), config)
+        n = normal.ideal(benchmark("db"), config)
+        t_rate = t.events.instructions / t.seconds.value
+        n_rate = n.events.instructions / n.seconds.value
+        assert t.seconds.value != n.seconds.value or t_rate != n_rate
+
+    def test_instruction_calibration_cached(self, engine):
+        a = engine.instructions_for(benchmark("db"))
+        b = engine.instructions_for(benchmark("db"))
+        assert a == b
+
+
+class TestMemoryBandwidthInteraction:
+    def test_fsb_quad_saturates_on_streaming(self, engine):
+        """canneal's aggregate miss stream floods the C2D65's FSB: the
+        four-thread i7 run scales far better than the two-core C2D65."""
+        c2d_one = engine.ideal(benchmark("canneal"), Configuration(CORE2DUO_65, 1, 1, 2.4))
+        c2d_two = engine.ideal(benchmark("canneal"), Configuration(CORE2DUO_65, 2, 1, 2.4))
+        fsb_scaling = c2d_one.seconds.value / c2d_two.seconds.value
+        i7_one = engine.ideal(benchmark("canneal"), Configuration(CORE_I7_45, 1, 1, 2.66))
+        i7_two = engine.ideal(benchmark("canneal"), Configuration(CORE_I7_45, 2, 1, 2.66))
+        ddr3_scaling = i7_one.seconds.value / i7_two.seconds.value
+        assert fsb_scaling < ddr3_scaling

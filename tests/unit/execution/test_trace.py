@@ -1,0 +1,95 @@
+"""Unit tests for power traces."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import Seconds
+from repro.execution.trace import PowerTrace, trace_of
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import stock
+from repro.workloads.catalog import benchmark
+
+
+def _two_piece() -> PowerTrace:
+    return PowerTrace(
+        duration=Seconds(10.0), boundaries=(4.0, 10.0), levels=(20.0, 50.0)
+    )
+
+
+class TestPowerAt:
+    def test_piecewise_lookup(self):
+        trace = _two_piece()
+        assert trace.power_at(1.0).value == 20.0
+        assert trace.power_at(5.0).value == 50.0
+
+    def test_boundary_belongs_to_next_piece(self):
+        assert _two_piece().power_at(4.0).value == 50.0
+
+    def test_clamped_at_end(self):
+        assert _two_piece().power_at(99.0).value == 50.0
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            _two_piece().power_at(-1.0)
+
+    def test_vectorised_matches_scalar(self):
+        trace = _two_piece()
+        times = np.array([0.5, 3.9, 4.0, 9.9])
+        vector = trace.powers_at(times)
+        scalar = [trace.power_at(float(t)).value for t in times]
+        assert vector.tolist() == scalar
+
+
+class TestAverages:
+    def test_time_weighted_average(self):
+        assert _two_piece().average_power().value == pytest.approx(
+            (20.0 * 4 + 50.0 * 6) / 10
+        )
+
+
+class TestSampling:
+    def test_50hz_count(self):
+        times = _two_piece().sample_times(50.0)
+        assert len(times) == 500
+
+    def test_max_samples_cap_preserves_span(self):
+        times = _two_piece().sample_times(50.0, max_samples=100)
+        assert len(times) == 100
+        assert times[0] > 0.0
+        assert times[-1] < 10.0
+        assert times[-1] > 9.0  # still covers the whole run
+
+    def test_capped_sampling_same_average(self):
+        trace = _two_piece()
+        full = trace.powers_at(trace.sample_times(50.0)).mean()
+        capped = trace.powers_at(trace.sample_times(50.0, max_samples=200)).mean()
+        assert capped == pytest.approx(full, rel=0.01)
+
+    def test_short_run_one_sample_minimum(self):
+        trace = PowerTrace(Seconds(0.001), (0.001,), (5.0,))
+        assert len(trace.sample_times(50.0)) == 1
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            _two_piece().sample_times(0.0)
+
+
+class TestTraceOf:
+    def test_matches_execution(self, engine):
+        ex = engine.ideal(benchmark("fluidanimate"), stock(CORE_I7_45))
+        trace = trace_of(ex)
+        assert trace.duration.value == pytest.approx(ex.seconds.value)
+        assert trace.average_power().value == pytest.approx(
+            ex.average_power.value, rel=1e-9
+        )
+        assert len(trace.levels) == len(ex.phases)
+
+
+class TestValidation:
+    def test_misaligned_pieces_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(Seconds(1.0), (1.0,), (1.0, 2.0))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerTrace(Seconds(1.0), (), ())

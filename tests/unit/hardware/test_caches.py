@@ -1,0 +1,81 @@
+"""Unit tests for the LLC model."""
+
+import pytest
+
+from repro.hardware.caches import (
+    REFERENCE_LLC_MB,
+    capacity_miss_factor,
+    resolve_mpki,
+    sharing_pressure,
+)
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+
+
+class TestCapacityFactor:
+    def test_reference_size_is_unity(self):
+        assert capacity_miss_factor(24.0, REFERENCE_LLC_MB) == pytest.approx(1.0)
+
+    def test_smaller_cache_more_misses(self):
+        assert capacity_miss_factor(24.0, 0.5) > 1.0
+
+    def test_larger_cache_fewer_misses(self):
+        assert capacity_miss_factor(24.0, 8.0) < 1.0
+
+    def test_monotone_in_cache_size(self):
+        factors = [capacity_miss_factor(24.0, mb) for mb in (0.5, 1, 3, 4, 8)]
+        assert factors == sorted(factors, reverse=True)
+
+    def test_factor_tends_to_one_for_huge_footprints(self):
+        """When nothing fits anywhere, cache size stops mattering: the
+        factor relative to the reference cache decays toward 1."""
+        factors = [capacity_miss_factor(fp, 1.0) for fp in (1, 4, 16, 64)]
+        assert factors == sorted(factors, reverse=True)
+        assert all(f > 1.0 for f in factors)  # 1 MB < 4 MB reference
+
+    def test_absolute_miss_fraction_monotone_in_footprint(self):
+        fractions = [fp / (fp + 1.0) for fp in (1, 4, 16, 64)]
+        assert fractions == sorted(fractions)
+
+    def test_zero_footprint_neutral(self):
+        assert capacity_miss_factor(0.0, 0.5) == 1.0
+
+    def test_tiny_cache_factor_bounded(self):
+        """Compulsory misses dominate: the factor tends to a finite limit."""
+        assert capacity_miss_factor(24.0, 0.01) < 1.0 / (24.0 / (24.0 + 4.0))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            capacity_miss_factor(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            capacity_miss_factor(1.0, 0.0)
+
+
+class TestSharing:
+    def test_single_context_no_pressure(self):
+        assert sharing_pressure(1) == 1.0
+
+    def test_sublinear_growth(self):
+        assert sharing_pressure(4) == pytest.approx(2.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            sharing_pressure(0)
+
+
+class TestResolve:
+    def test_small_cache_machine_suffers_more(self):
+        atom = resolve_mpki(5.0, 24.0, stock(ATOM_45))
+        i7 = resolve_mpki(5.0, 24.0, stock(CORE_I7_45))
+        assert atom.mpki > i7.mpki
+
+    def test_sharing_raises_mpki(self):
+        config = stock(CORE_I7_45)
+        alone = resolve_mpki(5.0, 24.0, config, sharing_contexts=1)
+        crowded = resolve_mpki(5.0, 24.0, config, sharing_contexts=8)
+        assert crowded.mpki > alone.mpki
+        assert crowded.effective_llc_mb < alone.effective_llc_mb
+
+    def test_negative_mpki_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_mpki(-1.0, 24.0, stock(CORE_I7_45))

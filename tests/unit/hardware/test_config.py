@@ -1,0 +1,107 @@
+"""Unit tests for BIOS-style configurations (§2.8)."""
+
+import pytest
+
+from repro.hardware.catalog import ATOM_45, CORE2DUO_65, CORE_I5_32, CORE_I7_45
+from repro.hardware.config import (
+    Configuration,
+    UnsupportedConfigurationError,
+    stock,
+)
+
+
+class TestValidation:
+    def test_stock_is_valid(self):
+        for spec in (CORE_I7_45, ATOM_45, CORE2DUO_65):
+            assert stock(spec).is_stock
+
+    def test_too_many_cores_rejected(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            Configuration(CORE2DUO_65, 3, 1, 2.4)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            Configuration(CORE2DUO_65, 0, 1, 2.4)
+
+    def test_smt_on_non_smt_part_rejected(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            Configuration(CORE2DUO_65, 2, 2, 2.4)
+
+    def test_unsupported_clock_rejected(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            Configuration(CORE_I7_45, 4, 2, 3.2)
+
+    def test_turbo_requires_capability(self):
+        with pytest.raises(UnsupportedConfigurationError):
+            Configuration(ATOM_45, 1, 2, 1.66, turbo_enabled=True)
+
+    def test_turbo_requires_stock_clock(self):
+        """§3.6: Turbo Boost only engages at the default highest clock."""
+        with pytest.raises(UnsupportedConfigurationError):
+            Configuration(CORE_I7_45, 4, 2, 1.6, turbo_enabled=True)
+
+    def test_turbo_at_stock_clock_allowed(self):
+        Configuration(CORE_I7_45, 4, 2, 2.66, turbo_enabled=True)
+
+
+class TestIdentity:
+    def test_key_format(self):
+        config = Configuration(CORE_I7_45, 4, 2, 2.66, turbo_enabled=True)
+        assert config.key == "i7_45/4C2T@2.66+TB"
+
+    def test_key_marks_disabled_turbo(self):
+        config = Configuration(CORE_I7_45, 4, 2, 2.66)
+        assert config.key.endswith("-TB")
+
+    def test_non_turbo_parts_have_plain_keys(self):
+        assert stock(ATOM_45).key == "atom_45/1C2T@1.66"
+
+    def test_label_mentions_no_tb(self):
+        assert "No TB" in Configuration(CORE_I7_45, 1, 1, 2.66).label
+
+    def test_keys_unique_across_space(self):
+        from repro.hardware.configurations import all_configurations
+
+        keys = [c.key for c in all_configurations()]
+        assert len(keys) == len(set(keys))
+
+
+class TestDerived:
+    def test_hardware_contexts(self):
+        assert Configuration(CORE_I7_45, 2, 2, 2.66).hardware_contexts == 4
+
+    def test_smt_enabled(self):
+        assert Configuration(CORE_I7_45, 1, 2, 2.66).smt_enabled
+        assert not Configuration(CORE_I7_45, 1, 1, 2.66).smt_enabled
+
+    def test_is_stock_detects_departures(self):
+        assert not Configuration(CORE_I7_45, 4, 2, 2.66).is_stock  # TB off
+        assert not Configuration(CORE_I7_45, 2, 2, 2.66, True).is_stock
+        assert Configuration(CORE_I7_45, 4, 2, 2.66, True).is_stock
+
+    def test_voltage_at_stock_is_vid_max(self):
+        config = stock(CORE_I5_32)
+        assert config.voltage().value == pytest.approx(1.40)
+
+
+class TestDerivationHelpers:
+    def test_with_cores(self):
+        assert stock(CORE_I7_45).with_cores(2).active_cores == 2
+
+    def test_without_smt(self):
+        assert stock(CORE_I7_45).without_smt().threads_per_core == 1
+
+    def test_with_smt_restores_native_width(self):
+        assert stock(CORE_I7_45).without_smt().with_smt().threads_per_core == 2
+
+    def test_at_clock_drops_turbo_below_stock(self):
+        derived = stock(CORE_I7_45).at_clock(1.6)
+        assert derived.clock_ghz == 1.6
+        assert not derived.turbo_enabled
+
+    def test_at_clock_keeps_turbo_at_stock(self):
+        derived = stock(CORE_I7_45).at_clock(2.66)
+        assert derived.turbo_enabled
+
+    def test_without_turbo(self):
+        assert not stock(CORE_I7_45).without_turbo().turbo_enabled

@@ -1,0 +1,62 @@
+"""Unit tests for hardware event counters."""
+
+import pytest
+
+from repro.hardware.events import EventCounts
+
+
+def _events(**overrides) -> EventCounts:
+    base = dict(
+        cycles=2e9,
+        instructions=1e9,
+        llc_misses=5e6,
+        dtlb_misses=4e6,
+        branch_misses=3e6,
+    )
+    base.update(overrides)
+    return EventCounts(**base)
+
+
+class TestRates:
+    def test_ipc(self):
+        assert _events().ipc == pytest.approx(0.5)
+
+    def test_cpi(self):
+        assert _events().cpi == pytest.approx(2.0)
+
+    def test_cpi_ipc_reciprocal(self):
+        e = _events()
+        assert e.cpi * e.ipc == pytest.approx(1.0)
+
+    def test_mpki(self):
+        assert _events().llc_mpki == pytest.approx(5.0)
+        assert _events().dtlb_mpki == pytest.approx(4.0)
+
+    def test_zero_cycles_safe(self):
+        assert _events(cycles=0).ipc == 0.0
+
+    def test_zero_instructions_safe(self):
+        e = _events(instructions=0)
+        assert e.cpi == 0.0
+        assert e.llc_mpki == 0.0
+
+
+class TestScaling:
+    def test_scaled_preserves_rates(self):
+        e = _events()
+        doubled = e.scaled(2.0)
+        assert doubled.instructions == 2e9
+        assert doubled.cpi == pytest.approx(e.cpi)
+        assert doubled.llc_mpki == pytest.approx(e.llc_mpki)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            _events().scaled(-1.0)
+
+
+class TestValidation:
+    def test_negative_counter_rejected(self):
+        with pytest.raises(ValueError):
+            _events(cycles=-1)
+        with pytest.raises(ValueError):
+            _events(dtlb_misses=-1)

@@ -1,0 +1,59 @@
+"""Unit tests for the §2.8 OS-scaling anomaly model."""
+
+import pytest
+
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import stock
+from repro.hardware.os_scaling import OsContextScaling, anomaly_demonstration
+from repro.workloads.catalog import benchmark
+
+
+class TestBuggyKernel:
+    def test_power_inversion_reproduced(self, engine):
+        """§2.8: 'power consumption to increase as hardware resources
+        were decreased!'"""
+        scaler = OsContextScaling(engine=engine, buggy=True)
+        config = stock(CORE_I7_45)
+        mcf = benchmark("mcf")
+        _, four = scaler.run_with_offlined_cores(mcf, config, 4)
+        _, one = scaler.run_with_offlined_cores(mcf, config, 1)
+        assert one.value > four.value  # fewer resources, more power
+
+    def test_fixed_kernel_behaves(self, engine):
+        scaler = OsContextScaling(engine=engine, buggy=False)
+        config = stock(CORE_I7_45)
+        mcf = benchmark("mcf")
+        _, four = scaler.run_with_offlined_cores(mcf, config, 4)
+        _, one = scaler.run_with_offlined_cores(mcf, config, 1)
+        assert one.value < four.value
+
+    def test_bios_configuration_unaffected(self, engine):
+        """The paper's workaround: BIOS-disabled cores actually release
+        their power."""
+        config = stock(CORE_I7_45).without_turbo()
+        mcf = benchmark("mcf")
+        four = engine.ideal(mcf, config).average_power.value
+        one = engine.ideal(mcf, config.with_cores(1)).average_power.value
+        assert one < four
+
+    def test_timing_unaffected_by_bug(self, engine):
+        scaler = OsContextScaling(engine=engine, buggy=True)
+        config = stock(CORE_I7_45)
+        mcf = benchmark("mcf")
+        execution, _ = scaler.run_with_offlined_cores(mcf, config, 2)
+        reference = engine.ideal(mcf, config.with_cores(2).without_turbo())
+        assert execution.seconds.value == pytest.approx(reference.seconds.value)
+
+    def test_demonstration_shape(self, engine):
+        readings = anomaly_demonstration(
+            engine, benchmark("mcf"), stock(CORE_I7_45)
+        )
+        assert len(readings) == 4
+        assert readings["1 cores online"] > readings["4 cores online"]
+
+    def test_online_count_validated(self, engine):
+        scaler = OsContextScaling(engine=engine)
+        with pytest.raises(ValueError):
+            scaler.run_with_offlined_cores(
+                benchmark("mcf"), stock(CORE_I7_45), 0
+            )

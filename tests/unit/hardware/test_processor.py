@@ -1,0 +1,93 @@
+"""Unit tests for ProcessorSpec structure and validation."""
+
+import pytest
+
+from repro.core.quantities import Hertz
+from repro.hardware.catalog import CORE_I5_32, CORE_I7_45, PENTIUM4_130
+from repro.hardware.microarch import CORE
+from repro.hardware.processor import (
+    MemorySystem,
+    PowerCharacter,
+    ProcessorSpec,
+)
+from repro.hardware.technology import node_for
+
+
+def _spec(**overrides) -> ProcessorSpec:
+    base = dict(
+        key="test",
+        label="Test (45)",
+        model="Test 1",
+        family=CORE,
+        codename="Testfield",
+        sspec="SLTEST",
+        release="Jan '09",
+        price_usd=100,
+        cores=2,
+        threads_per_core=1,
+        llc_mb=4.0,
+        stock_clock=Hertz.from_ghz(2.4),
+        node=node_for(45),
+        transistors_m=100,
+        die_mm2=100,
+        vid_range=(0.8, 1.2),
+        tdp_w=65,
+        memory=MemorySystem(latency_ns=80.0, bandwidth_gbs=5.0, dram="DDR2"),
+        power=PowerCharacter(10.0, 2.0, 5.0),
+    )
+    base.update(overrides)
+    return ProcessorSpec(**base)
+
+
+class TestValidation:
+    def test_valid(self):
+        _spec()
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            _spec(cores=0)
+
+    def test_clock_points_default_to_stock(self):
+        assert _spec().clock_points_ghz == (2.4,)
+
+    def test_clock_points_must_increase(self):
+        with pytest.raises(ValueError):
+            _spec(clock_points_ghz=(2.4, 1.6))
+
+    def test_clock_points_must_end_at_stock(self):
+        with pytest.raises(ValueError):
+            _spec(clock_points_ghz=(1.6, 2.0))
+
+    def test_memory_validation(self):
+        with pytest.raises(ValueError):
+            MemorySystem(latency_ns=0.0, bandwidth_gbs=5.0, dram="x")
+
+    def test_power_character_validation(self):
+        with pytest.raises(ValueError):
+            PowerCharacter(-1.0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            PowerCharacter(1.0, 1.0, 1.0, turbo_power_per_step=0.9)
+        with pytest.raises(ValueError):
+            PowerCharacter(1.0, 1.0, 1.0, voltage_swing=1.5)
+        with pytest.raises(ValueError):
+            PowerCharacter(1.0, 1.0, 1.0, uncore_dynamic_fraction=-0.1)
+
+
+class TestVoltage:
+    def test_vid_endpoints(self):
+        i7 = CORE_I7_45
+        assert i7.voltage_at(i7.min_clock).value == pytest.approx(0.80)
+        assert i7.voltage_at(i7.stock_clock).value == pytest.approx(1.38)
+
+    def test_no_vid_part_is_flat(self):
+        p4 = PENTIUM4_130
+        assert p4.voltage_at(p4.stock_clock).value == pytest.approx(
+            p4.node.nominal_voltage.value
+        )
+
+    def test_voltage_monotone_over_points(self):
+        i5 = CORE_I5_32
+        volts = [
+            i5.voltage_at(Hertz.from_ghz(g)).value for g in i5.clock_points_ghz
+        ]
+        assert volts == sorted(volts)

@@ -1,0 +1,85 @@
+"""Unit tests for process-node physics."""
+
+import pytest
+
+from repro.core.quantities import Hertz, Volts
+from repro.hardware.technology import (
+    NODES,
+    VoltageCurve,
+    node_for,
+)
+
+
+class TestNodes:
+    def test_all_four_generations_present(self):
+        assert sorted(NODES) == [32, 45, 65, 130]
+
+    def test_lookup(self):
+        assert node_for(45).nanometers == 45
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(KeyError):
+            node_for(90)
+
+    def test_capacitance_shrinks_with_node(self):
+        scales = [NODES[nm].capacitance_scale for nm in (130, 65, 45, 32)]
+        assert scales == sorted(scales, reverse=True)
+
+    def test_leakage_share_grows_with_shrink(self):
+        """Post-Dennard: leakage per transistor relative to dynamic energy
+        grows at each shrink."""
+        ratio = [
+            NODES[nm].leakage_scale / NODES[nm].capacitance_scale
+            for nm in (130, 65, 45, 32)
+        ]
+        assert ratio == sorted(ratio)
+
+    def test_voltage_drops_with_node(self):
+        volts = [NODES[nm].nominal_voltage.value for nm in (130, 65, 45, 32)]
+        assert volts == sorted(volts, reverse=True)
+
+
+class TestVoltageCurve:
+    def _curve(self) -> VoltageCurve:
+        return VoltageCurve(
+            v_min=Volts(0.8),
+            v_max=Volts(1.4),
+            f_min=Hertz.from_ghz(1.6),
+            f_max=Hertz.from_ghz(2.66),
+        )
+
+    def test_endpoints(self):
+        curve = self._curve()
+        assert curve.voltage_at(Hertz.from_ghz(1.6)).value == pytest.approx(0.8)
+        assert curve.voltage_at(Hertz.from_ghz(2.66)).value == pytest.approx(1.4)
+
+    def test_monotone(self):
+        curve = self._curve()
+        low = curve.voltage_at(Hertz.from_ghz(1.8)).value
+        high = curve.voltage_at(Hertz.from_ghz(2.4)).value
+        assert low < high
+
+    def test_clamps_below_floor(self):
+        curve = self._curve()
+        assert curve.voltage_at(Hertz.from_ghz(1.0)).value == pytest.approx(0.8)
+
+    def test_extrapolates_above_ceiling(self):
+        """Turbo territory: voltage extrapolates beyond v_max."""
+        curve = self._curve()
+        assert curve.voltage_at(Hertz.from_ghz(2.93)).value > 1.4
+
+    def test_flat_curve(self):
+        flat = VoltageCurve(
+            Volts(1.5), Volts(1.5), Hertz.from_ghz(2.4), Hertz.from_ghz(2.4)
+        )
+        assert flat.voltage_at(Hertz.from_ghz(2.4)).value == 1.5
+
+    def test_invalid_ordering_rejected(self):
+        with pytest.raises(ValueError):
+            VoltageCurve(Volts(1.4), Volts(0.8), Hertz(1.0), Hertz(2.0))
+        with pytest.raises(ValueError):
+            VoltageCurve(Volts(0.8), Volts(1.4), Hertz(2.0), Hertz(1.0))
+
+    def test_nonpositive_frequency_rejected(self):
+        with pytest.raises(ValueError):
+            self._curve().voltage_at(Hertz(0.0))

@@ -1,0 +1,69 @@
+"""Unit tests for Turbo Boost semantics (§3.6)."""
+
+import pytest
+
+from repro.hardware.catalog import ATOM_45, CORE_I5_32, CORE_I7_45
+from repro.hardware.config import Configuration, stock
+from repro.hardware.turbo import TurboState, power_multiplier, resolve
+
+
+def _i7(turbo: bool = True) -> Configuration:
+    return Configuration(CORE_I7_45, 4, 2, 2.66, turbo_enabled=turbo)
+
+
+class TestResolve:
+    def test_all_cores_one_step(self):
+        state = resolve(_i7(), busy_cores=4)
+        assert state.steps == 1
+        assert state.frequency.ghz == pytest.approx(2.66 + 0.133)
+
+    def test_single_core_two_steps(self):
+        """§3.6: 'When only one core was active, the core ran 266MHz
+        faster.'"""
+        state = resolve(_i7(), busy_cores=1)
+        assert state.steps == 2
+        assert state.frequency.ghz == pytest.approx(2.66 + 0.266)
+
+    def test_disabled_turbo_no_boost(self):
+        state = resolve(_i7(turbo=False), busy_cores=1)
+        assert not state.engaged
+        assert state.frequency.ghz == pytest.approx(2.66)
+
+    def test_no_turbo_hardware_no_boost(self):
+        state = resolve(stock(ATOM_45), busy_cores=1)
+        assert not state.engaged
+
+    def test_idle_package_no_boost(self):
+        assert not resolve(_i7(), busy_cores=0).engaged
+
+    def test_two_busy_cores_single_step(self):
+        assert resolve(_i7(), busy_cores=2).steps == 1
+
+    def test_negative_busy_rejected(self):
+        with pytest.raises(ValueError):
+            resolve(_i7(), busy_cores=-1)
+
+    def test_i5_steps(self):
+        config = stock(CORE_I5_32)
+        assert resolve(config, 2).frequency.ghz == pytest.approx(3.46 + 0.133)
+        assert resolve(config, 1).frequency.ghz == pytest.approx(3.46 + 0.266)
+
+
+class TestPowerMultiplier:
+    def test_disengaged_is_unity(self):
+        assert power_multiplier(_i7(), TurboState(0, _i7().clock)) == 1.0
+
+    def test_i7_per_step_cost(self):
+        state = resolve(_i7(), busy_cores=4)
+        assert power_multiplier(_i7(), state) == pytest.approx(1.21)
+
+    def test_i7_two_steps_compound(self):
+        state = resolve(_i7(), busy_cores=1)
+        assert power_multiplier(_i7(), state) == pytest.approx(1.21**2)
+
+    def test_i5_cheaper_boost(self):
+        """Fig. 10: the i5's boost is nearly free; the i7's is costly."""
+        i5 = stock(CORE_I5_32)
+        i5_mult = power_multiplier(i5, resolve(i5, 2))
+        i7_mult = power_multiplier(_i7(), resolve(_i7(), 4))
+        assert i5_mult < 1.05 < i7_mult

@@ -1,0 +1,90 @@
+"""Unit tests for the RAPL-style energy counter."""
+
+import pytest
+
+from repro.core.quantities import Seconds
+from repro.execution.trace import PowerTrace
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import stock
+from repro.measurement.rapl import (
+    COUNTER_BITS,
+    ENERGY_UNIT_UJ,
+    RaplReader,
+    SimulatedRaplDomain,
+    rapl_power,
+)
+from repro.workloads.catalog import benchmark
+
+
+def _domain(watts=50.0, seconds=10.0) -> SimulatedRaplDomain:
+    return SimulatedRaplDomain(
+        trace=PowerTrace(Seconds(seconds), (seconds,), (watts,))
+    )
+
+
+class TestCounter:
+    def test_monotone_before_wrap(self):
+        domain = _domain()
+        values = [domain.counter_at(t) for t in (0.0, 1.0, 2.0, 5.0)]
+        assert values == sorted(values)
+        assert values[0] == 0
+
+    def test_counter_tracks_energy(self):
+        domain = _domain(watts=50.0)
+        units = domain.counter_at(2.0)
+        joules = units * ENERGY_UNIT_UJ / 1e6
+        assert joules == pytest.approx(100.0, rel=1e-3)
+
+    def test_register_width_wraps(self):
+        # 60 W for an hour overflows the 32-bit unit counter.
+        domain = _domain(watts=60.0, seconds=3600.0)
+        assert domain.counter_at(3600.0) < (1 << COUNTER_BITS)
+
+    def test_wrap_period_realistic(self):
+        """At ~60 W the 32-bit counter wraps in roughly 15-20 minutes."""
+        domain = _domain(watts=60.0, seconds=3600.0)
+        assert 600 < domain.wrap_seconds_at < 1500
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            _domain().counter_at(-1.0)
+
+
+class TestReader:
+    def test_recovers_constant_power(self):
+        power = RaplReader().average_power(_domain(watts=42.0))
+        assert power.value == pytest.approx(42.0, rel=1e-3)
+
+    def test_recovers_two_phase_average(self):
+        trace = PowerTrace(Seconds(10.0), (4.0, 10.0), (20.0, 60.0))
+        domain = SimulatedRaplDomain(trace=trace)
+        power = RaplReader().average_power(domain)
+        assert power.value == pytest.approx(trace.average_power().value, rel=1e-3)
+
+    def test_handles_single_wrap(self):
+        # Long enough that the counter wraps mid-run; sampling is fast
+        # enough that each wrap is caught.
+        domain = _domain(watts=60.0, seconds=2000.0)
+        power = RaplReader(sample_interval_s=60.0).average_power(domain)
+        assert power.value == pytest.approx(60.0, rel=1e-3)
+
+    def test_too_fast_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            RaplReader(sample_interval_s=1e-5)
+
+
+class TestAgainstEngine:
+    def test_matches_true_average_power(self, engine):
+        execution = engine.ideal(benchmark("xalan"), stock(CORE_I7_45))
+        power = rapl_power(execution)
+        assert power.value == pytest.approx(
+            execution.average_power.value, rel=0.002
+        )
+
+    def test_rapl_and_hall_agree(self, engine):
+        from repro.measurement.meter import meter_for
+
+        execution = engine.ideal(benchmark("fluidanimate"), stock(CORE_I7_45))
+        hall = meter_for(CORE_I7_45).measure(execution).average_watts
+        rapl = rapl_power(execution).value
+        assert hall == pytest.approx(rapl, rel=0.04)

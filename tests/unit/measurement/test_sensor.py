@@ -1,0 +1,105 @@
+"""Unit tests for the ACS714 Hall-effect sensor model (§2.5)."""
+
+import numpy as np
+import pytest
+
+from repro.core.quantities import Amperes, Volts
+from repro.measurement.sensor import (
+    ADC_COUNTS,
+    HallEffectSensor,
+    MV_PER_AMP_30A,
+    MV_PER_AMP_5A,
+    ZERO_CURRENT_VOLTS,
+    sensor_for_processor,
+)
+
+
+class TestTransferFunction:
+    def test_zero_current_near_midpoint(self):
+        sensor = HallEffectSensor("test", noise_fraction=0.0)
+        out = sensor.output_volts(Amperes(0.0))
+        assert out.value == pytest.approx(ZERO_CURRENT_VOLTS, abs=0.02)
+
+    def test_slope_near_185mv_per_amp(self):
+        sensor = HallEffectSensor("test", noise_fraction=0.0)
+        v1 = sensor.output_volts(Amperes(1.0)).value
+        v2 = sensor.output_volts(Amperes(2.0)).value
+        assert (v2 - v1) * 1000 == pytest.approx(MV_PER_AMP_5A, rel=0.02)
+
+    def test_saturation_beyond_range(self):
+        sensor = HallEffectSensor("test", noise_fraction=0.0)
+        at_limit = sensor.output_volts(Amperes(5.0)).value
+        beyond = sensor.output_volts(Amperes(50.0)).value
+        assert beyond == pytest.approx(at_limit)
+
+    def test_bidirectional(self):
+        sensor = HallEffectSensor("test", noise_fraction=0.0)
+        assert sensor.output_volts(Amperes(-1.0)).value < ZERO_CURRENT_VOLTS
+
+    def test_devices_have_stable_individual_errors(self):
+        a1 = HallEffectSensor("a")
+        a2 = HallEffectSensor("a")
+        b = HallEffectSensor("b")
+        current = Amperes(2.0)
+        assert a1.output_volts(current).value == a2.output_volts(current).value
+        assert a1.output_volts(current).value != b.output_volts(current).value
+
+
+class TestDigitisation:
+    def test_code_range(self):
+        sensor = HallEffectSensor("test")
+        assert sensor.digitise(Volts(0.0)) == 0
+        assert sensor.digitise(Volts(5.0)) == ADC_COUNTS - 1
+        assert 0 <= sensor.digitise(Volts(2.5)) < ADC_COUNTS
+
+    def test_read_codes_deterministic(self):
+        sensor = HallEffectSensor("test")
+        currents = np.linspace(0.5, 3.0, 20)
+        a = sensor.read_codes(currents, seed_salt="x")
+        b = sensor.read_codes(currents, seed_salt="x")
+        assert (a == b).all()
+
+    def test_read_codes_salt_varies_noise(self):
+        sensor = HallEffectSensor("test")
+        currents = np.linspace(0.5, 3.0, 50)
+        a = sensor.read_codes(currents, seed_salt="x")
+        b = sensor.read_codes(currents, seed_salt="y")
+        assert (a != b).any()
+
+    def test_codes_monotone_in_current_on_average(self):
+        sensor = HallEffectSensor("test")
+        codes = sensor.read_codes(np.linspace(0.3, 4.5, 200), seed_salt="mono")
+        fit = np.polyfit(np.arange(len(codes)), codes.astype(float), 1)
+        assert fit[0] > 0
+
+    def test_vectorised_matches_scalar_path(self):
+        sensor = HallEffectSensor("test", noise_fraction=0.0)
+        currents = np.array([0.5, 1.5, 2.5])
+        codes = sensor.read_codes(currents, seed_salt="zero-noise")
+        scalar = [
+            sensor.digitise(sensor.output_volts(Amperes(float(c))))
+            for c in currents
+        ]
+        assert codes.tolist() == scalar
+
+
+class TestSensorSelection:
+    def test_low_power_machine_gets_5a_part(self):
+        sensor = sensor_for_processor("atom_45", max_power_watts=4.0)
+        assert sensor.range_amps == 5.0
+        assert sensor.mv_per_amp == MV_PER_AMP_5A
+
+    def test_high_power_machine_gets_30a_part(self):
+        """§2.5: 'The sensor on i7 (45) ... accepts currents with
+        magnitudes up to 30A.'"""
+        sensor = sensor_for_processor("i7_45", max_power_watts=130.0)
+        assert sensor.range_amps == 30.0
+        assert sensor.mv_per_amp == MV_PER_AMP_30A
+
+    def test_invalid_power_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_for_processor("x", max_power_watts=0.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HallEffectSensor("x", range_amps=0.0)

@@ -1,0 +1,41 @@
+"""Unit tests for the native toolchain models (§2.1)."""
+
+import pytest
+
+from repro.native.binary import NATIVE_VARIABILITY, binary_for
+from repro.native.compiler import Toolchain, effective_ilp, quality_of
+from repro.workloads.catalog import benchmark
+
+
+class TestToolchainChoice:
+    def test_spec_uses_icc(self):
+        """§2.1: 'We chose Intel's icc compiler' for SPEC CPU2006."""
+        assert binary_for(benchmark("mcf")).toolchain is Toolchain.ICC
+        assert binary_for(benchmark("gamess")).toolchain is Toolchain.ICC
+
+    def test_parsec_uses_gcc(self):
+        """§2.1: icc miscompiled PARSEC; the paper uses gcc 4.4.1 -O3."""
+        assert binary_for(benchmark("fluidanimate")).toolchain is Toolchain.GCC
+
+    def test_java_has_no_binary(self):
+        with pytest.raises(ValueError):
+            binary_for(benchmark("db"))
+
+    def test_native_variability_small(self):
+        assert binary_for(benchmark("mcf")).variability == NATIVE_VARIABILITY < 0.01
+
+
+class TestCodeQuality:
+    def test_icc_beats_gcc_on_scalar_code(self):
+        assert effective_ilp(Toolchain.ICC, 2.0) > effective_ilp(Toolchain.GCC, 2.0)
+
+    def test_jit_gets_microarch_bonus(self):
+        assert quality_of(Toolchain.JIT).microarch_specific
+        assert not quality_of(Toolchain.ICC).microarch_specific
+
+    def test_effective_ilp_floors_at_one(self):
+        assert effective_ilp(Toolchain.GCC, 1.0) >= 1.0
+
+    def test_bad_ilp_rejected(self):
+        with pytest.raises(ValueError):
+            effective_ilp(Toolchain.ICC, 0.5)

@@ -1,0 +1,93 @@
+"""Unit tests for the character scatter plots."""
+
+import pytest
+
+from repro.reporting.ascii_plot import Series, scatter
+
+
+def _series(points=((1.0, 1.0), (2.0, 2.0)), marker="o", label="s"):
+    return Series(label=label, points=points, marker=marker)
+
+
+class TestSeries:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _series(marker="ab")
+        with pytest.raises(ValueError):
+            _series(points=())
+
+
+class TestScatter:
+    def test_contains_markers_and_legend(self):
+        text = scatter([_series()])
+        assert "o" in text
+        assert "o=s" in text
+
+    def test_axis_labels(self):
+        text = scatter([_series()], x_label="perf", y_label="watts")
+        assert "x: perf" in text
+        assert "y: watts" in text
+
+    def test_dimensions(self):
+        text = scatter([_series()], width=40, height=10)
+        # height rows + axis + x-tick line + caption + legend
+        assert len(text.splitlines()) == 10 + 4
+
+    def test_overlap_marker(self):
+        a = _series(points=[(1.0, 1.0)], marker="a", label="a")
+        b = _series(points=[(1.0, 1.0)], marker="b", label="b")
+        assert "*" in scatter([a, b]).splitlines()[0] or "*" in scatter([a, b])
+
+    def test_log_axes_require_positive(self):
+        bad = _series(points=[(0.0, 1.0), (1.0, 2.0)])
+        with pytest.raises(ValueError):
+            scatter([bad], log_x=True)
+
+    def test_log_scaling_spreads_decades(self):
+        """On a log axis, 1->10 and 10->100 land equally far apart."""
+        s = _series(points=[(1.0, 1.0), (10.0, 1.0), (100.0, 1.0)], marker="x")
+        text = scatter([s], width=61, height=6, log_x=True)
+        row = next(line for line in text.splitlines() if "x" in line)
+        positions = [i for i, c in enumerate(row) if c == "x"]
+        assert len(positions) == 3
+        gap1 = positions[1] - positions[0]
+        gap2 = positions[2] - positions[1]
+        assert abs(gap1 - gap2) <= 1
+
+    def test_explicit_range_clips_outsiders(self):
+        s = _series(points=[(1.0, 1.0), (100.0, 100.0)])
+        text = scatter([s], x_range=(0.0, 10.0), y_range=(0.0, 10.0))
+        grid_rows = text.splitlines()[:-4]  # exclude axis/captions/legend
+        assert sum(row.count("o") for row in grid_rows) == 1
+
+    def test_degenerate_extent_handled(self):
+        s = _series(points=[(5.0, 5.0)])
+        assert "o" in scatter([s])
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([_series()], width=4, height=3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            scatter([])
+
+
+class TestFigureRenderers:
+    def test_all_figures_render(self, study):
+        from repro.reporting import figures
+
+        for renderer in (
+            figures.figure2,
+            figures.figure3,
+            figures.figure7c,
+            figures.figure11,
+            figures.figure12,
+        ):
+            text = renderer(study)
+            assert len(text.splitlines()) > 10
+
+    def test_figure2_has_identity_line(self, study):
+        from repro.reporting import figures
+
+        assert "power = TDP" in figures.figure2(study)

@@ -1,0 +1,90 @@
+"""Unit tests for JVM vendor profiles (§2.2's future work)."""
+
+import pytest
+
+from repro.runtime.vendors import HOTSPOT, J9, JROCKIT, VENDORS, JvmVendor, vendor
+from repro.workloads.catalog import benchmark
+
+
+class TestProfiles:
+    def test_three_vendors(self):
+        assert len(VENDORS) == 3
+
+    def test_lookup(self):
+        assert vendor("hotspot") is HOTSPOT
+        assert vendor("JRockit") is JROCKIT
+        assert vendor("j9") is J9
+        with pytest.raises(KeyError):
+            vendor("dalvik")
+
+    def test_hotspot_is_identity(self):
+        assert HOTSPOT.performance_factor(benchmark("db")) == 1.0
+        assert HOTSPOT.activity_factor == 1.0
+        assert HOTSPOT.service_scale == 1.0
+
+    def test_per_benchmark_factor_stable(self):
+        db = benchmark("db")
+        assert JROCKIT.performance_factor(db) == JROCKIT.performance_factor(db)
+
+    def test_per_benchmark_factors_vary(self):
+        factors = {
+            JROCKIT.performance_factor(benchmark(name))
+            for name in ("db", "xalan", "antlr", "sunflow", "jess")
+        }
+        assert len(factors) == 5
+
+    def test_vendors_disagree_per_benchmark(self):
+        db = benchmark("db")
+        assert JROCKIT.performance_factor(db) != J9.performance_factor(db)
+
+    def test_native_benchmarks_rejected(self):
+        with pytest.raises(ValueError):
+            JROCKIT.performance_factor(benchmark("mcf"))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JvmVendor("x", mean_performance=0.0, benchmark_spread=0.1,
+                      activity_factor=1.0, service_scale=1.0)
+        with pytest.raises(ValueError):
+            JvmVendor("x", mean_performance=1.0, benchmark_spread=-0.1,
+                      activity_factor=1.0, service_scale=1.0)
+
+
+class TestEngineIntegration:
+    def test_vendor_changes_measured_times(self):
+        from repro.execution.engine import ExecutionEngine
+        from repro.hardware.catalog import CORE_I7_45
+        from repro.hardware.config import stock
+
+        hotspot = ExecutionEngine()
+        j9 = ExecutionEngine(jvm_vendor=J9)
+        config = stock(CORE_I7_45)
+        db = benchmark("db")
+        assert hotspot.ideal(db, config).seconds.value != j9.ideal(
+            db, config
+        ).seconds.value
+
+    def test_vendor_does_not_affect_native(self):
+        from repro.execution.engine import ExecutionEngine
+        from repro.hardware.catalog import CORE_I7_45
+        from repro.hardware.config import stock
+
+        hotspot = ExecutionEngine()
+        j9 = ExecutionEngine(jvm_vendor=J9)
+        config = stock(CORE_I7_45)
+        mcf = benchmark("mcf")
+        assert hotspot.ideal(mcf, config).seconds.value == j9.ideal(
+            mcf, config
+        ).seconds.value
+
+    def test_calibration_is_vendor_independent(self):
+        """Table 1's reference times are HotSpot's: a different vendor must
+        not silently re-anchor the workload sizes."""
+        from repro.execution.engine import ExecutionEngine
+
+        hotspot = ExecutionEngine()
+        j9 = ExecutionEngine(jvm_vendor=J9)
+        db = benchmark("db")
+        assert hotspot.instructions_for(db) == pytest.approx(
+            j9.instructions_for(db)
+        )

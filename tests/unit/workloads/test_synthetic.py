@@ -1,0 +1,90 @@
+"""Unit tests for the synthetic workload builder."""
+
+import pytest
+
+from repro.hardware.catalog import CORE_I7_45
+from repro.hardware.config import Configuration, stock
+from repro.workloads.benchmark import Group
+from repro.workloads.synthetic import synthetic
+
+
+class TestDescriptors:
+    def test_compute_bound_extreme(self):
+        bench = synthetic("cb", boundness=0.0)
+        assert bench.character.ilp > 2.4
+        assert bench.character.memory_mpki < 1.0
+
+    def test_memory_bound_extreme(self):
+        bench = synthetic("mb", boundness=1.0)
+        assert bench.character.ilp < 1.3
+        assert bench.character.memory_mpki > 15.0
+        assert bench.character.activity < 0.7
+
+    def test_group_selection(self):
+        assert synthetic("a").group is Group.NATIVE_NONSCALABLE
+        assert synthetic("b", managed=True).group is Group.JAVA_NONSCALABLE
+        assert synthetic("c", parallelism=0.95).group is Group.NATIVE_SCALABLE
+        assert (
+            synthetic("d", parallelism=0.95, managed=True).group
+            is Group.JAVA_SCALABLE
+        )
+
+    def test_managed_gets_jvm_behaviour(self):
+        bench = synthetic("j", managed=True, service_fraction=0.2)
+        assert bench.jvm is not None
+        assert bench.jvm.service_fraction == 0.2
+
+    def test_fixed_thread_count(self):
+        bench = synthetic("t", parallelism=0.5, threads=4)
+        assert bench.character.software_threads == 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            synthetic("x", boundness=1.5)
+        with pytest.raises(ValueError):
+            synthetic("x", parallelism=1.0)
+        with pytest.raises(ValueError):
+            synthetic("x", parallelism=0.95, threads=1)
+
+
+class TestEngineAcceptance:
+    def test_runs_on_the_study_machines(self, engine):
+        bench = synthetic("svc", boundness=0.5, parallelism=0.9, managed=True,
+                          reference_seconds=8.0)
+        execution = engine.ideal(bench, stock(CORE_I7_45))
+        assert execution.seconds.value > 0
+        assert 20.0 < execution.average_power.value < 95.0
+
+    def test_reference_time_calibrates(self, engine):
+        from repro.core.statistics import mean
+        from repro.hardware.catalog import reference_processors
+
+        bench = synthetic("svc2", boundness=0.4, reference_seconds=8.0)
+        times = [
+            engine.ideal(bench, stock(spec)).seconds.value
+            for spec in reference_processors()
+        ]
+        assert mean(times) == pytest.approx(8.0, rel=1e-6)
+
+    def test_parallel_synthetic_scales(self, engine):
+        bench = synthetic("scale", parallelism=0.93, reference_seconds=8.0)
+        one = engine.ideal(bench, Configuration(CORE_I7_45, 1, 1, 2.66))
+        eight = engine.ideal(bench, Configuration(CORE_I7_45, 4, 2, 2.66))
+        assert one.seconds.value / eight.seconds.value > 2.0
+
+    def test_memory_bound_scales_worse_than_compute_bound(self, engine):
+        compute = synthetic("c", boundness=0.05, parallelism=0.93)
+        memory = synthetic("m", boundness=0.95, parallelism=0.93)
+
+        def scaling(bench):
+            one = engine.ideal(bench, Configuration(CORE_I7_45, 1, 1, 2.66))
+            eight = engine.ideal(bench, Configuration(CORE_I7_45, 4, 2, 2.66))
+            return one.seconds.value / eight.seconds.value
+
+        assert scaling(memory) < scaling(compute)
+
+    def test_study_measures_synthetic(self, study):
+        bench = synthetic("measured", boundness=0.5, reference_seconds=6.0)
+        result = study.measure(bench, stock(CORE_I7_45))
+        assert result.watts > 0
+        assert result.speedup > 0

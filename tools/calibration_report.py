@@ -1,0 +1,151 @@
+"""Developer tool: model-versus-paper calibration report.
+
+Prints Table 4 aggregates and the §3 feature ratios side by side with the
+paper's values so the catalog's calibration constants can be tuned.
+Run:  python tools/calibration_report.py [--quick]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core.aggregation import full_aggregate
+from repro.core.study import Study
+from repro.experiments import paper_data
+from repro.hardware import catalog, configurations, stock
+from repro.hardware.config import Configuration
+from repro.workloads.benchmark import Group
+from repro.workloads.catalog import BENCHMARKS
+
+GROUPS = (Group.NATIVE_NONSCALABLE, Group.NATIVE_SCALABLE,
+          Group.JAVA_NONSCALABLE, Group.JAVA_SCALABLE)
+
+
+def table4(study: Study) -> None:
+    print("=== Table 4: speedup | power (model vs paper) ===")
+    header = f"{'processor':14s}" + "".join(
+        f"{g.name[:4]:>16s}" for g in GROUPS) + f"{'Avg_w':>16s}"
+    print(header)
+    for spec in catalog.PROCESSORS:
+        results = study.run_config(stock(spec))
+        speed = full_aggregate(results.values("speedup"), BENCHMARKS)
+        power = full_aggregate(results.values("watts"), BENCHMARKS)
+        ps = paper_data.TABLE4_SPEEDUP[spec.key]
+        pp = paper_data.TABLE4_POWER[spec.key]
+        cells = []
+        for g in GROUPS:
+            cells.append(f"{speed[g.value]:.2f}/{ps[g]:.2f} "
+                         f"{power[g.value]:.0f}/{pp[g]:.0f}W")
+        cells.append(f"{speed['Avg_w']:.2f}/{ps['Avg_w']:.2f} "
+                     f"{power['Avg_w']:.0f}/{pp['Avg_w']:.0f}W")
+        print(f"{spec.key:14s}" + "".join(f"{c:>16s}" for c in cells))
+
+
+def _avg(study: Study, config: Configuration, metric: str) -> float:
+    from repro.core.aggregation import weighted_average, group_means
+    results = study.run_config(config)
+    return weighted_average(group_means(results.values(metric), BENCHMARKS))
+
+
+def _ratio(study: Study, num: Configuration, den: Configuration, metric: str) -> float:
+    from repro.core.aggregation import ratio_of_aggregates
+    return ratio_of_aggregates(
+        study.run_config(num).values(metric),
+        study.run_config(den).values(metric),
+        BENCHMARKS,
+    )
+
+
+def feature_ratios(study: Study) -> None:
+    i7, i5 = catalog.CORE_I7_45, catalog.CORE_I5_32
+    p4, atom = catalog.PENTIUM4_130, catalog.ATOM_45
+    c2d45, c2d65 = catalog.CORE2DUO_45, catalog.CORE2DUO_65
+
+    def cfg(spec, c, t, ghz, tb=False):
+        return Configuration(spec, c, t, ghz, tb)
+
+    def ratio(name, num, den, paper):
+        perf = 1.0 / _ratio(study, num, den, "seconds")
+        pwr = _ratio(study, num, den, "watts")
+        en = _ratio(study, num, den, "normalized_energy")
+        print(f"{name:34s} perf {perf:5.2f}/{paper['performance']:5.2f}  "
+              f"power {pwr:5.2f}/{paper['power']:5.2f}  "
+              f"energy {en:5.2f}/{paper['energy']:5.2f}")
+
+    print("\n=== Fig 4: CMP 2C/1C (no SMT, no TB) ===")
+    ratio("i7 2C1T/1C1T@2.66", cfg(i7, 2, 1, 2.66), cfg(i7, 1, 1, 2.66),
+          paper_data.FIG4_CMP["i7_45"])
+    ratio("i5 2C1T/1C1T@3.46", cfg(i5, 2, 1, 3.46), cfg(i5, 1, 1, 3.46),
+          paper_data.FIG4_CMP["i5_32"])
+
+    print("\n=== Fig 5: SMT 1C2T/1C1T (no TB) ===")
+    ratio("P4", cfg(p4, 1, 2, 2.4), cfg(p4, 1, 1, 2.4),
+          paper_data.FIG5_SMT["pentium4_130"])
+    ratio("i7", cfg(i7, 1, 2, 2.66), cfg(i7, 1, 1, 2.66),
+          paper_data.FIG5_SMT["i7_45"])
+    ratio("Atom", cfg(atom, 1, 2, 1.66), cfg(atom, 1, 1, 1.66),
+          paper_data.FIG5_SMT["atom_45"])
+    ratio("i5", cfg(i5, 1, 2, 3.46), cfg(i5, 1, 1, 3.46),
+          paper_data.FIG5_SMT["i5_32"])
+
+    print("\n=== Fig 7: clock max vs min (raw ratios, paper=per doubling) ===")
+    ratio("i7 2.66/1.6", cfg(i7, 4, 2, 2.66), cfg(i7, 4, 2, 1.6),
+          paper_data.FIG7_CLOCK_DOUBLING["i7_45"] | {"performance": 1.5, "power": 2.3, "energy": 1.55})
+    ratio("C2D45 3.06/1.6", cfg(c2d45, 2, 1, 3.06), cfg(c2d45, 2, 1, 1.6),
+          paper_data.FIG7_CLOCK_DOUBLING["c2d_45"] | {"performance": 1.6, "power": 2.4, "energy": 1.5})
+    ratio("i5 3.46/1.2", cfg(i5, 2, 2, 3.46), cfg(i5, 2, 2, 1.2),
+          paper_data.FIG7_CLOCK_DOUBLING["i5_32"] | {"performance": 2.3, "power": 2.2, "energy": 0.94})
+
+    print("\n=== Fig 8: die shrink (new/old) matched clocks ===")
+    ratio("Core: C2D45/C2D65 @2.4 2C",
+          cfg(c2d45, 2, 1, 2.4), cfg(c2d65, 2, 1, 2.4),
+          paper_data.FIG8_DIE_SHRINK_MATCHED["core"])
+    ratio("Nehalem: i5/i7 @2.66 2C2T",
+          cfg(i5, 2, 2, 2.66), cfg(i7, 2, 2, 2.66),
+          paper_data.FIG8_DIE_SHRINK_MATCHED["nehalem"])
+
+    print("\n=== Fig 9: gross uarch (Nehalem/other) ===")
+    ratio("i7/P4 1C2T@2.4", cfg(i7, 1, 2, 2.4), cfg(p4, 1, 2, 2.4),
+          paper_data.FIG9_MICROARCH["netburst"])
+    ratio("i7/C2D45 2C1T@1.6", cfg(i7, 2, 1, 1.6), cfg(c2d45, 2, 1, 1.6),
+          paper_data.FIG9_MICROARCH["core_45"])
+    ratio("i5/C2D65 2C1T@2.4", cfg(i5, 2, 1, 2.4), cfg(c2d65, 2, 1, 2.4),
+          paper_data.FIG9_MICROARCH["core_65"])
+    ratio("i7/AtomD 2C2T@1.6/1.66",
+          cfg(i7, 2, 2, 1.6), stock(catalog.ATOM_D510_45),
+          paper_data.FIG9_MICROARCH["bonnell"])
+
+    print("\n=== Fig 10: Turbo Boost on/off ===")
+    ratio("i7 4C2T", cfg(i7, 4, 2, 2.66, True), cfg(i7, 4, 2, 2.66),
+          paper_data.FIG10_TURBO["i7_45/4C2T"])
+    ratio("i7 1C1T", cfg(i7, 1, 1, 2.66, True), cfg(i7, 1, 1, 2.66),
+          paper_data.FIG10_TURBO["i7_45/1C1T"])
+    ratio("i5 2C2T", cfg(i5, 2, 2, 3.46, True), cfg(i5, 2, 2, 3.46),
+          paper_data.FIG10_TURBO["i5_32/2C2T"])
+    ratio("i5 1C1T", cfg(i5, 1, 1, 3.46, True), cfg(i5, 1, 1, 3.46),
+          paper_data.FIG10_TURBO["i5_32/1C1T"])
+
+
+def scalability(study: Study) -> None:
+    i7 = catalog.CORE_I7_45
+    print("\n=== Fig 1 / Fig 6: Java scalability on i7 (model/paper) ===")
+    base = study.run_config(Configuration(i7, 1, 1, 2.66))
+    four = study.run_config(Configuration(i7, 4, 2, 2.66))
+    two = study.run_config(Configuration(i7, 2, 1, 2.66))
+    b_t, f_t, t_t = (s.values("seconds") for s in (base, four, two))
+    for name, paper in paper_data.FIG1_JAVA_SCALABILITY.items():
+        print(f"  fig1 {name:12s} {b_t[name]/f_t[name]:.2f}/{paper:.2f}")
+    for name, paper in paper_data.FIG6_ST_JAVA_CMP.items():
+        print(f"  fig6 {name:12s} {b_t[name]/t_t[name]:.2f}/{paper:.2f}")
+
+
+def main() -> None:
+    scale = 0.2 if "--quick" in sys.argv else 1.0
+    study = Study(invocation_scale=scale)
+    table4(study)
+    feature_ratios(study)
+    scalability(study)
+
+
+if __name__ == "__main__":
+    main()
