@@ -8,25 +8,37 @@ Commands:
 * ``experiment <id>`` — regenerate one paper artifact (``table1``..``fig12``);
 * ``findings`` — evaluate the thirteen findings;
 * ``dataset <out.csv> [--configs stock|45nm|all]`` — export the run dataset;
-* ``figure <fig2|fig3|fig7c|fig11|fig12>`` — draw a character figure.
+* ``figure <fig2|fig3|fig7c|fig11|fig12>`` — draw a character figure;
+* ``stats`` — run a small sweep and print the telemetry summary table.
+
+Global telemetry flags (before the command):
+
+* ``--trace PATH.jsonl`` — export a span per experiment/measurement;
+* ``--metrics`` — dump Prometheus-style exposition after the command;
+* ``--progress`` — live rate/ETA line on stderr (composes with
+  ``--quick``: totals reflect the scaled invocation counts).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Optional, Sequence
 
 from repro.core.study import Study
 from repro.experiments.findings import evaluate_all
 from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
-from repro.hardware.catalog import PROCESSORS, processor
+from repro.hardware.catalog import ATOM_45, CORE_I7_45, PROCESSORS, processor
 from repro.hardware.config import stock
 from repro.hardware.configurations import (
     all_configurations,
     node_45nm_configurations,
     stock_configurations,
 )
+from repro.obs.export import render_prometheus, render_summary
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracing import default_tracer
 from repro.reporting import figures
 from repro.reporting.tables import render_experiment, render_rows
 from repro.workloads.catalog import BENCHMARKS, benchmark
@@ -42,6 +54,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "--quick",
         action="store_true",
         help="run 20%% of the paper's repetition protocol",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH.jsonl",
+        default=None,
+        help="record tracing spans and export them as JSONL on exit",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="dump Prometheus-style metrics exposition after the command",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="show a live rate/ETA progress line on stderr",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -75,6 +103,12 @@ def _build_parser() -> argparse.ArgumentParser:
     figure = commands.add_parser("figure", help="draw a character figure")
     figure.add_argument(
         "figure_id", choices=("fig2", "fig3", "fig7c", "fig11", "fig12")
+    )
+
+    commands.add_parser(
+        "stats",
+        help="run a small demonstration sweep and print the telemetry "
+        "summary table",
     )
     return parser
 
@@ -141,6 +175,21 @@ def _findings(study: Study) -> str:
     return render_rows(rows, max_width=78)
 
 
+def _stats(study: Study) -> str:
+    """Run a tiny 2-benchmark x 2-config sweep twice (the second pass is
+    fully cached) and render the resulting telemetry."""
+    benches = (benchmark("mcf"), benchmark("db"))
+    configs = (stock(CORE_I7_45), stock(ATOM_45))
+    for _ in range(2):
+        study.run(configs, benches)
+    lines = [
+        "== telemetry after a 2 benchmark x 2 configuration sweep "
+        "(run twice; second pass cached) ==",
+        render_summary(),
+    ]
+    return "\n".join(lines)
+
+
 def _dataset(args: argparse.Namespace, study: Study) -> str:
     configs = {
         "stock": stock_configurations,
@@ -154,27 +203,52 @@ def _dataset(args: argparse.Namespace, study: Study) -> str:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
-    study = Study(invocation_scale=0.2 if args.quick else 1.0)
+    tracer = default_tracer()
+    if args.trace:
+        # Fail before the (possibly long) run, not at export time.
+        parent = Path(args.trace).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"error: --trace directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
+        tracer.enable()
+    progress = ProgressReporter(stream=sys.stderr) if args.progress else None
+    study = Study(
+        invocation_scale=0.2 if args.quick else 1.0,
+        progress=progress,
+    )
 
-    if args.command == "list":
-        print(_list(args.what))
-    elif args.command == "measure":
-        print(_measure(args, study))
-    elif args.command == "experiment":
-        print(render_experiment(run_experiment(args.experiment_id, study)))
-    elif args.command == "findings":
-        print(_findings(study))
-    elif args.command == "dataset":
-        print(_dataset(args, study))
-    elif args.command == "figure":
-        renderer = {
-            "fig2": figures.figure2,
-            "fig3": figures.figure3,
-            "fig7c": figures.figure7c,
-            "fig11": figures.figure11,
-            "fig12": figures.figure12,
-        }[args.figure_id]
-        print(renderer(study))
+    try:
+        if args.command == "list":
+            print(_list(args.what))
+        elif args.command == "measure":
+            print(_measure(args, study))
+        elif args.command == "experiment":
+            print(render_experiment(run_experiment(args.experiment_id, study)))
+        elif args.command == "findings":
+            print(_findings(study))
+        elif args.command == "dataset":
+            print(_dataset(args, study))
+        elif args.command == "figure":
+            renderer = {
+                "fig2": figures.figure2,
+                "fig3": figures.figure3,
+                "fig7c": figures.figure7c,
+                "fig11": figures.figure11,
+                "fig12": figures.figure12,
+            }[args.figure_id]
+            print(renderer(study))
+        elif args.command == "stats":
+            print(_stats(study))
+    finally:
+        if progress is not None:
+            progress.finish()
+        if args.trace:
+            tracer.export_jsonl(args.trace)
+    if args.metrics:
+        print(render_prometheus(), end="")
     return 0
 
 

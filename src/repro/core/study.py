@@ -8,12 +8,23 @@ following the paper's measurement protocol (3/5 executions for native,
 
 Results are cached per (benchmark, configuration), so experiments that
 share configurations (most of §3's feature analyses share the stock
-settings) pay for each measurement once.
+settings) pay for each measurement once.  The cache keys by the benchmark
+*value* — not its name — for the same reason the engine's instruction
+cache does: synthetic workloads may share a name while differing in
+signature, and a name-keyed cache would silently hand one workload the
+other's measurements.
+
+The study is the natural place to account for the campaign, so it is
+instrumented: cache hits/misses and invocations feed the process metrics
+registry, each uncached measurement runs under a ``study.measure`` span,
+and an optional :class:`~repro.obs.progress.ProgressReporter` receives one
+tick per invocation (scaled counts under ``invocation_scale``).
 """
 
 from __future__ import annotations
 
 import math
+import time
 from typing import Iterable, Optional, Sequence
 
 from repro.core.normalization import References
@@ -21,10 +32,32 @@ from repro.core.results import ResultSet, RunResult
 from repro.core.statistics import confidence_interval
 from repro.execution.engine import ExecutionEngine
 from repro.hardware.config import Configuration
-from repro.measurement.meter import meter_for
-from repro.runtime.methodology import protocol_for
+from repro.hardware.processor import ProcessorSpec
+from repro.measurement.meter import PowerMeter, meter_for
+from repro.obs.metrics import default_registry
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracing import default_tracer
+from repro.runtime.methodology import MeasurementProtocol, protocol_for
 from repro.workloads.benchmark import Benchmark
 from repro.workloads.catalog import BENCHMARKS
+
+_REGISTRY = default_registry()
+_CACHE_HITS = _REGISTRY.counter(
+    "repro_study_cache_hits_total",
+    "Measurements answered from the study's result cache",
+)
+_CACHE_MISSES = _REGISTRY.counter(
+    "repro_study_cache_misses_total",
+    "Measurements that had to be performed",
+)
+_INVOCATIONS = _REGISTRY.counter(
+    "repro_study_invocations_total",
+    "Individual benchmark invocations executed and metered",
+)
+_MEASURE_SECONDS = _REGISTRY.histogram(
+    "repro_measure_seconds",
+    "Latency of one uncached Study.measure (all invocations)",
+)
 
 
 class Study:
@@ -32,7 +65,10 @@ class Study:
 
     ``invocation_scale`` proportionally reduces the protocol's repetition
     counts (floored at one) for quick exploratory sweeps; the default of
-    1.0 is the paper's full protocol.
+    1.0 is the paper's full protocol.  ``progress`` receives one tick per
+    invocation; ``instrument=False`` takes a telemetry-free path through
+    ``measure`` — no counters, spans, or clock reads — which is what the
+    overhead benchmark baselines against.
     """
 
     def __init__(
@@ -41,6 +77,8 @@ class Study:
         references: Optional[References] = None,
         invocation_scale: float = 1.0,
         benchmarks: Sequence[Benchmark] = BENCHMARKS,
+        progress: Optional[ProgressReporter] = None,
+        instrument: bool = True,
     ) -> None:
         if invocation_scale <= 0:
             raise ValueError("invocation scale must be positive")
@@ -48,7 +86,13 @@ class Study:
         self._engine = self._references.engine
         self._scale = invocation_scale
         self._benchmarks = tuple(benchmarks)
-        self._cache: dict[tuple[str, str], RunResult] = {}
+        self._progress = progress
+        self._instrument = instrument
+        self._cache: dict[tuple[Benchmark, str], RunResult] = {}
+        # Memoised per-benchmark protocol and per-machine meter lookups:
+        # a 61x45 sweep re-derives neither inside the measurement loop.
+        self._protocols: dict[Benchmark, MeasurementProtocol] = {}
+        self._meters: dict[str, PowerMeter] = {}
 
     @property
     def engine(self) -> ExecutionEngine:
@@ -62,18 +106,87 @@ class Study:
     def benchmarks(self) -> tuple[Benchmark, ...]:
         return self._benchmarks
 
+    @property
+    def progress(self) -> Optional[ProgressReporter]:
+        return self._progress
+
+    # -- caching / planning ----------------------------------------------------
+
+    def clear_cache(self) -> None:
+        """Evict every cached result (measurements are pure, so a re-run
+        reproduces the identical dataset)."""
+        self._cache.clear()
+
+    def is_cached(self, benchmark: Benchmark, config: Configuration) -> bool:
+        return (benchmark, config.key) in self._cache
+
+    def scaled_invocations(self, benchmark: Benchmark) -> int:
+        """Protocol repetitions after ``invocation_scale`` (floored at 1)."""
+        protocol = self._protocol(benchmark)
+        return max(1, math.ceil(protocol.invocations * self._scale))
+
+    def planned_invocations(
+        self,
+        configurations: Iterable[Configuration],
+        benchmarks: Optional[Sequence[Benchmark]] = None,
+    ) -> int:
+        """Invocations a sweep would actually execute (uncached pairs only)."""
+        chosen = tuple(benchmarks) if benchmarks is not None else self._benchmarks
+        return sum(
+            self.scaled_invocations(benchmark)
+            for config in configurations
+            for benchmark in chosen
+            if not self.is_cached(benchmark, config)
+        )
+
+    def _protocol(self, benchmark: Benchmark) -> MeasurementProtocol:
+        protocol = self._protocols.get(benchmark)
+        if protocol is None:
+            protocol = protocol_for(benchmark)
+            self._protocols[benchmark] = protocol
+        return protocol
+
+    def _meter(self, spec: ProcessorSpec) -> PowerMeter:
+        meter = self._meters.get(spec.key)
+        if meter is None:
+            meter = meter_for(spec)
+            self._meters[spec.key] = meter
+        return meter
+
     # -- measurement ----------------------------------------------------------
 
     def measure(self, benchmark: Benchmark, config: Configuration) -> RunResult:
         """Measure one benchmark on one configuration (cached)."""
-        cache_key = (benchmark.name, config.key)
+        cache_key = (benchmark, config.key)
         cached = self._cache.get(cache_key)
         if cached is not None:
+            if self._instrument:
+                _CACHE_HITS.inc()
             return cached
+        if not self._instrument:
+            # The uninstrumented-equivalent path: no counters, no span, no
+            # clock reads — what the overhead benchmark baselines against.
+            result = self._measure_uncached(benchmark, config)
+            self._cache[cache_key] = result
+            return result
+        _CACHE_MISSES.inc()
+        with default_tracer().span(
+            "study.measure", benchmark=benchmark.name, config=config.key
+        ) as span:
+            started = time.perf_counter()
+            result = self._measure_uncached(benchmark, config)
+            span.set_attribute("invocations", result.invocations)
+            span.set_attribute("seconds", round(result.seconds, 6))
+            _MEASURE_SECONDS.observe(time.perf_counter() - started)
+        self._cache[cache_key] = result
+        return result
 
-        protocol = protocol_for(benchmark)
-        invocations = max(1, math.ceil(protocol.invocations * self._scale))
-        meter = meter_for(config.spec)
+    def _measure_uncached(
+        self, benchmark: Benchmark, config: Configuration
+    ) -> RunResult:
+        protocol = self._protocol(benchmark)
+        invocations = self.scaled_invocations(benchmark)
+        meter = self._meter(config.spec)
 
         times: list[float] = []
         powers: list[float] = []
@@ -89,12 +202,16 @@ class Study:
             )
             times.append(execution.seconds.value)
             powers.append(measurement.average_watts)
+            if self._progress is not None:
+                self._progress.advance()
+        if self._instrument:
+            _INVOCATIONS.inc(invocations)
 
         time_ci = confidence_interval(times)
         power_ci = confidence_interval(powers)
         seconds = time_ci.mean
         watts = power_ci.mean
-        result = RunResult(
+        return RunResult(
             benchmark_name=benchmark.name,
             group=benchmark.group,
             processor_key=config.spec.key,
@@ -109,21 +226,41 @@ class Study:
             power_ci=power_ci,
             invocations=invocations,
         )
-        self._cache[cache_key] = result
-        return result
 
     def run(
         self,
         configurations: Iterable[Configuration],
         benchmarks: Optional[Sequence[Benchmark]] = None,
     ) -> ResultSet:
-        """Measure every benchmark on every configuration."""
+        """Measure every benchmark on every configuration.
+
+        Cached pairs take a fast path that touches nothing but the cache
+        dict (no protocol/meter derivation, no span); only actual misses
+        enter :meth:`measure`'s measurement machinery.
+        """
         chosen = tuple(benchmarks) if benchmarks is not None else self._benchmarks
-        results = [
-            self.measure(benchmark, config)
+        pairs = [
+            (benchmark, config)
             for config in configurations
             for benchmark in chosen
         ]
+        if self._progress is not None:
+            self._progress.extend_total(
+                sum(
+                    self.scaled_invocations(b)
+                    for b, c in pairs
+                    if not self.is_cached(b, c)
+                )
+            )
+        results: list[RunResult] = []
+        for benchmark, config in pairs:
+            cached = self._cache.get((benchmark, config.key))
+            if cached is not None:
+                if self._instrument:
+                    _CACHE_HITS.inc()
+                results.append(cached)
+            else:
+                results.append(self.measure(benchmark, config))
         return ResultSet(results)
 
     def run_config(

@@ -34,6 +34,7 @@ from repro.hardware.power import package_power
 from repro.hardware.turbo import TurboState, resolve as resolve_turbo
 from repro.native.binary import NATIVE_VARIABILITY, binary_for
 from repro.native.compiler import Toolchain
+from repro.obs.metrics import default_registry
 from repro.runtime.heap import HeapPolicy
 from repro.runtime.jit import DEFAULT_WARMUP, JitWarmup
 from repro.runtime.jvm import JvmPlan, ServicePlacement, plan as jvm_plan
@@ -50,6 +51,30 @@ _PROBE_INSTRUCTIONS = 1e9
 #: DTLB displacement is sharper than LLC displacement: the collector walks
 #: the whole heap, evicting translations wholesale (db's 2.5x, §3.1).
 _DTLB_DISPLACEMENT_GAIN = 2.0
+
+_REGISTRY = default_registry()
+_EXECUTIONS = _REGISTRY.counter(
+    "repro_engine_executions_total",
+    "Measured executions performed by the engine",
+)
+_CALIBRATION_PROBES = _REGISTRY.counter(
+    "repro_engine_calibration_probes_total",
+    "Reference-machine probe runs used to calibrate benchmark work",
+)
+_INSTRUCTION_CACHE_HITS = _REGISTRY.counter(
+    "repro_engine_instruction_cache_hits_total",
+    "instructions_for answered from the per-benchmark calibration cache",
+)
+_INSTRUCTION_CACHE_MISSES = _REGISTRY.counter(
+    "repro_engine_instruction_cache_misses_total",
+    "instructions_for calibrations performed",
+)
+_PHASES = _REGISTRY.counter(
+    "repro_engine_phases_total",
+    "Execution phases simulated, by phase name",
+)
+_SERIAL_PHASES = _PHASES.labels(phase="serial")
+_PARALLEL_PHASES = _PHASES.labels(phase="parallel")
 
 
 @dataclass(frozen=True, slots=True)
@@ -126,6 +151,7 @@ class ExecutionEngine:
         ``iteration`` defaults to the steady-state iteration for Java and
         is ignored for native benchmarks (they have no warm-up).
         """
+        _EXECUTIONS.inc()
         instructions = self.instructions_for(benchmark)
         noise = self._noise(benchmark, config, invocation)
         power_noise = self._noise(
@@ -154,13 +180,16 @@ class ExecutionEngine:
         # synthetic workloads may share names while differing in signature.
         cached = self._instruction_cache.get(benchmark)
         if cached is not None:
+            _INSTRUCTION_CACHE_HITS.inc()
             return cached
+        _INSTRUCTION_CACHE_MISSES.inc()
         probe_times = [
             self._raw_execute(
                 benchmark, stock(spec), _PROBE_INSTRUCTIONS, time_noise=1.0
             ).seconds.value
             for spec in reference_processors()
         ]
+        _CALIBRATION_PROBES.inc(len(probe_times))
         mean_probe = sum(probe_times) / len(probe_times)
         instructions = _PROBE_INSTRUCTIONS * benchmark.reference_seconds / mean_probe
         self._instruction_cache[benchmark] = instructions
@@ -259,6 +288,7 @@ class ExecutionEngine:
             mpki_factor, sharing=1, threads=1, friction=friction,
         )
         if serial_instructions > 0:
+            _SERIAL_PHASES.inc()
             serial_rate = capped_throughput(
                 serial_turbo.frequency.value / serial_cpi.total,
                 serial_cpi.mpki,
@@ -282,6 +312,7 @@ class ExecutionEngine:
 
         # --- parallel phase across the placed threads.
         if parallel_fraction > 0.0:
+            _PARALLEL_PHASES.inc()
             parallel_instructions = instructions * parallel_fraction
             busy = placement.cores_used + self._service_cores(plan, config, placement)
             busy = min(busy, config.active_cores)

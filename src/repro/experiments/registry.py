@@ -33,8 +33,15 @@ from repro.experiments import (
     table5_pareto_configs,
 )
 from repro.experiments.base import ExperimentResult
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import root_span
 
 Runner = Callable[[Optional[Study]], ExperimentResult]
+
+_EXPERIMENT_RUNS = default_registry().counter(
+    "repro_experiment_runs_total",
+    "Paper artifacts and extensions regenerated, by experiment id",
+)
 
 EXPERIMENTS: dict[str, Runner] = {
     "table1": table1_benchmarks.run,
@@ -76,4 +83,8 @@ def run_experiment(experiment_id: str, study: Optional[Study] = None) -> Experim
     if runner is None:
         known = sorted(EXPERIMENTS) + sorted(EXTENSIONS)
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    return runner(study)
+    _EXPERIMENT_RUNS.labels(experiment=experiment_id).inc()
+    with root_span(experiment_id) as span:
+        result = runner(study)
+        span.set_attribute("rows", len(result.rows))
+    return result

@@ -22,8 +22,23 @@ from repro.execution.trace import trace_of
 from repro.hardware.processor import ProcessorSpec
 from repro.measurement.calibration import SensorCalibration, calibrate
 from repro.measurement.logger import DataLogger, LoggedRun
-from repro.measurement.sensor import HallEffectSensor, sensor_for_processor
+from repro.measurement.sensor import ADC_COUNTS, HallEffectSensor, sensor_for_processor
 from repro.measurement.supply import ProcessorSupply
+from repro.obs.metrics import default_registry, enabled as _metrics_enabled
+
+_REGISTRY = default_registry()
+_SAMPLES = _REGISTRY.counter(
+    "repro_meter_samples_total",
+    "50 Hz power samples drawn through the sensor pipeline, by machine",
+)
+_CLAMP_EVENTS = _REGISTRY.counter(
+    "repro_meter_clamp_events_total",
+    "Samples clamped at the sensor or ADC rails (saturation), by machine",
+)
+
+#: Codes within this band of the rail count as clamped: a railed sample
+#: still scatters by quantisation, sensor noise, and fit error.
+_SAT_GUARD_CODES = 3.0
 
 
 @dataclass(frozen=True)
@@ -52,6 +67,23 @@ class PowerMeter:
         self._supply = ProcessorSupply(machine_key=spec.key)
         self._logger = DataLogger(sensor=self._sensor, supply=self._supply)
         self._calibration = calibrate(self._sensor)
+        self._samples_metric = _SAMPLES.labels(machine=spec.key)
+        self._clamp_metric = _CLAMP_EVENTS.labels(machine=spec.key)
+        # Saturation telemetry, precomputed: the codes the logger reports
+        # when the Hall sensor rails at +/- its current range (the ADC
+        # itself clips too, whichever bites first), and the true package
+        # power below which no sample can rail.  The guard keeps the
+        # per-sample scan off the hot path — a 0.9 margin absorbs supply
+        # droop and sensor noise.
+        fit = self._calibration.fit
+        rail = self._sensor.range_amps
+        # A railed sample still carries quantisation + sensor noise
+        # (+/- a couple of codes), so the rail threshold gets a guard band.
+        guard = _SAT_GUARD_CODES
+        self._sat_code_high = min(fit.intercept + fit.slope * rail - guard,
+                                  float(ADC_COUNTS - 1))
+        self._sat_code_low = max(fit.intercept - fit.slope * rail + guard, 0.0)
+        self._sat_scan_watts = 0.9 * rail * self._supply.nominal.value
 
     @property
     def spec(self) -> ProcessorSpec:
@@ -75,6 +107,19 @@ class PowerMeter:
             )
         trace = trace_of(execution)
         logged = self._logger.log(trace, run_salt=run_salt)
+        if _metrics_enabled():
+            self._samples_metric.inc(logged.sample_count)
+            # Samples can only sit on a rail if some phase's true power
+            # approaches the sensor's range, so a scalar compare against
+            # the trace's peak level gates the per-sample scan.
+            if max(trace.levels) >= self._sat_scan_watts:
+                codes = logged.codes
+                clamped = int(np.count_nonzero(
+                    (codes <= self._sat_code_low)
+                    | (codes >= self._sat_code_high)
+                ))
+                if clamped:
+                    self._clamp_metric.inc(clamped)
         watts = self._watts_from(logged)
         return Measurement(
             average_watts=float(np.mean(watts)),

@@ -1,0 +1,50 @@
+"""Observability for the reproduction campaign itself.
+
+The paper's credibility rests on knowing exactly what was run and how
+often; this package gives the *reproduction* the same property.  Four
+stdlib-only components:
+
+* :mod:`repro.obs.metrics` — counters/gauges/histograms in a process-wide
+  registry, with a global enable switch for overhead baselines;
+* :mod:`repro.obs.tracing` — hierarchical spans (contextvars-parented)
+  with JSONL export, disabled by default;
+* :mod:`repro.obs.export` — Prometheus text exposition and an ASCII
+  summary table;
+* :mod:`repro.obs.progress` — an opt-in rate/ETA line for long sweeps.
+
+The hot path (engine, study, meter, experiment registry) is instrumented
+out of the box; ``python -m repro --trace out.jsonl --metrics ...``
+surfaces it, and ``repro stats`` prints the summary table after a small
+demonstration sweep.
+"""
+
+from repro.obs.export import render_prometheus, render_summary
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Timer,
+    default_registry,
+    set_enabled,
+)
+from repro.obs.progress import ProgressReporter
+from repro.obs.tracing import Span, Tracer, default_tracer, read_jsonl, root_span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ProgressReporter",
+    "Span",
+    "Timer",
+    "Tracer",
+    "default_registry",
+    "default_tracer",
+    "read_jsonl",
+    "render_prometheus",
+    "render_summary",
+    "root_span",
+    "set_enabled",
+]

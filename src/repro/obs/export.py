@@ -1,0 +1,100 @@
+"""Exporters: Prometheus text exposition and an ASCII summary table.
+
+Both scrape a :class:`~repro.obs.metrics.MetricsRegistry` (the process
+default unless one is passed), so ``python -m repro --metrics ...`` and
+``repro stats`` are just different renderings of the same instruments.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+)
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _format_labels(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """Prometheus text-format exposition of every registered instrument."""
+    registry = registry or default_registry()
+    lines: list[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        for sample in metric.samples():
+            labels = _format_labels(sample.label_values)
+            if isinstance(sample, Histogram):
+                for bound, cumulative in sample.bucket_counts():
+                    bucket_labels = dict(sample.label_values, le=_format_value(bound))
+                    lines.append(
+                        f"{sample.name}_bucket{_format_labels(bucket_labels)} "
+                        f"{cumulative}"
+                    )
+                lines.append(f"{sample.name}_sum{labels} {_format_value(sample.sum)}")
+                lines.append(f"{sample.name}_count{labels} {sample.count}")
+            elif isinstance(sample, (Counter, Gauge)):
+                lines.append(f"{sample.name}{labels} {_format_value(sample.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
+    """One aligned ASCII table summarising every instrument with data."""
+    # Imported lazily: reporting.tables reaches experiments.base, whose
+    # study import would cycle back through the instrumented modules.
+    from repro.reporting.tables import render_rows
+
+    registry = registry or default_registry()
+    rows: list[dict[str, object]] = []
+    for metric in registry.collect():
+        for sample in metric.samples():
+            labels = _format_labels(sample.label_values) or "-"
+            if isinstance(sample, Histogram):
+                if sample.count == 0:
+                    continue
+                rows.append(
+                    {
+                        "metric": sample.name,
+                        "kind": sample.kind,
+                        "labels": labels,
+                        "value": round(sample.sum, 6),
+                        "count": sample.count,
+                        "mean": round(sample.mean, 6),
+                    }
+                )
+            elif isinstance(sample, (Counter, Gauge)):
+                if sample.value == 0 and sample.children():
+                    continue
+                rows.append(
+                    {
+                        "metric": sample.name,
+                        "kind": sample.kind,
+                        "labels": labels,
+                        "value": round(sample.value, 6),
+                        "count": None,
+                        "mean": None,
+                    }
+                )
+    if not rows:
+        return "(no telemetry recorded)"
+    return render_rows(rows, max_width=44)

@@ -1,0 +1,113 @@
+"""Progress reporting for long sweeps (rate + ETA).
+
+Off by default — the CLI constructs one only under ``--progress`` — and
+written to stderr so it never pollutes piped table/CSV output.  The unit
+of progress is one *invocation* (a single engine execution + metering),
+so ``--quick``'s scaled repetition counts are reflected exactly: the
+study registers the scaled number of planned invocations before a sweep
+and advances the reporter once per invocation performed.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Callable, Optional, TextIO
+
+
+def _format_eta(seconds: float) -> str:
+    seconds = max(0, int(round(seconds)))
+    hours, rest = divmod(seconds, 3600)
+    minutes, secs = divmod(rest, 60)
+    if hours:
+        return f"{hours}:{minutes:02d}:{secs:02d}"
+    return f"{minutes}:{secs:02d}"
+
+
+class ProgressReporter:
+    """A single carriage-return progress line: count, rate, ETA.
+
+    ``total`` may be unknown up front; sweeps register work with
+    :meth:`extend_total` as they plan it, and the line shows an ETA only
+    once a total exists.  ``min_interval_s`` throttles terminal writes;
+    the injectable ``clock`` keeps the arithmetic testable.
+    """
+
+    def __init__(
+        self,
+        total: Optional[int] = None,
+        stream: Optional[TextIO] = None,
+        label: str = "invocations",
+        min_interval_s: float = 0.1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.total = total
+        self.done = 0
+        self._stream = stream if stream is not None else sys.stderr
+        self._label = label
+        self._min_interval = min_interval_s
+        self._clock = clock
+        self._start: Optional[float] = None
+        self._last_write = -float("inf")
+        self._dirty = False
+
+    # -- accounting ----------------------------------------------------------
+
+    def extend_total(self, n: int) -> None:
+        """Register ``n`` more planned units of work."""
+        if n < 0:
+            raise ValueError("cannot plan negative work")
+        self.total = (self.total or 0) + n
+        self._dirty = True
+
+    def advance(self, n: int = 1) -> None:
+        """Record ``n`` completed units and maybe redraw the line."""
+        if self._start is None:
+            self._start = self._clock()
+        self.done += n
+        self._dirty = True
+        now = self._clock()
+        if now - self._last_write >= self._min_interval:
+            self._write(now)
+
+    # -- rendering -----------------------------------------------------------
+
+    @property
+    def elapsed_s(self) -> float:
+        if self._start is None:
+            return 0.0
+        return self._clock() - self._start
+
+    @property
+    def rate(self) -> float:
+        # The first tick lands microseconds after start; a rate from that
+        # interval is noise, so wait for a second completed unit.
+        elapsed = self.elapsed_s
+        if self.done < 2 or elapsed <= 0:
+            return 0.0
+        return self.done / elapsed
+
+    def render(self) -> str:
+        rate = self.rate
+        if self.total:
+            line = f"[{self.done}/{self.total} {self._label}]"
+        else:
+            line = f"[{self.done} {self._label}]"
+        line += f" {rate:.1f}/s" if rate else ""
+        if self.total and rate > 0 and self.done < self.total:
+            line += f" eta {_format_eta((self.total - self.done) / rate)}"
+        return line
+
+    def _write(self, now: float) -> None:
+        self._stream.write("\r" + self.render().ljust(48))
+        self._stream.flush()
+        self._last_write = now
+        self._dirty = False
+
+    def finish(self) -> None:
+        """Draw the final state and terminate the line."""
+        if self.done == 0 and not self._dirty:
+            return
+        self._write(self._clock())
+        self._stream.write("\n")
+        self._stream.flush()

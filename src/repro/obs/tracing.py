@@ -1,0 +1,218 @@
+"""Hierarchical tracing: spans over the measurement campaign.
+
+A span is one timed unit of work (an experiment regeneration, one
+``study.measure``) with wall-time, attributes, and a parent resolved
+through :mod:`contextvars` — so nesting follows the call structure with
+no explicit threading of span objects, and survives threads/async tasks
+that copy the context.
+
+The default tracer is **disabled**: ``span()`` then yields a shared
+no-op span at negligible cost.  The CLI enables it for ``--trace`` and
+exports every finished span as one JSON object per line (JSONL).
+"""
+
+from __future__ import annotations
+
+import contextvars
+import itertools
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Iterator, Optional
+
+_CURRENT_SPAN_ID: contextvars.ContextVar[Optional[int]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+# Wall-clock anchor taken once: spans pay a single perf_counter() read at
+# open instead of a perf_counter() + time() pair, and wall times are
+# derived at export.
+_WALL_ANCHOR = time.time()
+_PERF_ANCHOR = time.perf_counter()
+
+
+class Span:
+    """One finished-or-running unit of traced work."""
+
+    __slots__ = ("name", "span_id", "parent_id",
+                 "_start_perf", "duration_s", "attributes")
+
+    def __init__(
+        self,
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        attributes: Optional[dict[str, object]] = None,
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self._start_perf = time.perf_counter()
+        self.duration_s: Optional[float] = None
+        # The kwargs dict handed in by Tracer.span is already fresh; take
+        # ownership rather than copying on the hot path.
+        self.attributes: dict[str, object] = (
+            attributes if attributes is not None else {}
+        )
+
+    @property
+    def start_wall(self) -> float:
+        return _WALL_ANCHOR + (self._start_perf - _PERF_ANCHOR)
+
+    def set_attribute(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def finish(self) -> None:
+        if self.duration_s is None:
+            self.duration_s = time.perf_counter() - self._start_perf
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start_unix_s": round(self.start_wall, 6),
+            "duration_s": None if self.duration_s is None
+            else round(self.duration_s, 9),
+            "attributes": self.attributes,
+        }
+
+
+class _NullSpan:
+    """What a disabled tracer hands out: accepts attributes, records nothing."""
+
+    __slots__ = ()
+    name = ""
+    span_id = None
+    parent_id = None
+
+    def set_attribute(self, key: str, value: object) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _SpanHandle:
+    """Context manager for one span; a plain class (not a generator
+    contextmanager) because ``study.measure`` opens one per uncached
+    measurement and the generator machinery costs several microseconds."""
+
+    __slots__ = ("_tracer", "_span", "_token")
+
+    def __init__(self, tracer: "Tracer", span: "Span | _NullSpan") -> None:
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> "Span | _NullSpan":
+        span = self._span
+        if span is not NULL_SPAN:
+            self._token = _CURRENT_SPAN_ID.set(span.span_id)
+        return span
+
+    def __exit__(self, *exc: object) -> None:
+        span = self._span
+        if span is not NULL_SPAN:
+            _CURRENT_SPAN_ID.reset(self._token)
+            span.finish()
+            self._tracer.finished.append(span)
+
+
+_NULL_HANDLE = _SpanHandle(None, NULL_SPAN)  # type: ignore[arg-type]
+
+
+class Tracer:
+    """Collects finished spans; parenthood propagates via contextvars."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self._enabled = enabled
+        self._ids = itertools.count(1)
+        self.finished: list[Span] = []
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def is_enabled(self) -> bool:
+        return self._enabled
+
+    def enable(self) -> None:
+        self._enabled = True
+
+    def disable(self) -> None:
+        self._enabled = False
+
+    def clear(self) -> None:
+        self.finished.clear()
+        self._ids = itertools.count(1)
+
+    # -- spans ---------------------------------------------------------------
+
+    def span(self, name: str, **attributes: object) -> _SpanHandle:
+        """Open a span; the previous open span (if any) becomes its parent."""
+        if not self._enabled:
+            return _NULL_HANDLE
+        return _SpanHandle(
+            self,
+            Span(
+                name,
+                span_id=next(self._ids),
+                parent_id=_CURRENT_SPAN_ID.get(),
+                attributes=attributes,
+            ),
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def roots(self) -> tuple[Span, ...]:
+        return tuple(s for s in self.finished if s.parent_id is None)
+
+    def children_of(self, span: Span) -> tuple[Span, ...]:
+        return tuple(s for s in self.finished if s.parent_id == span.span_id)
+
+    def by_name(self, name: str) -> tuple[Span, ...]:
+        return tuple(s for s in self.finished if s.name == name)
+
+    # -- export --------------------------------------------------------------
+
+    def export_jsonl(self, path: str | Path) -> Path:
+        """Write every finished span as one JSON object per line."""
+        out = Path(path)
+        with out.open("w", encoding="utf-8") as fh:
+            for span in self.finished:
+                fh.write(json.dumps(span.as_dict(), default=str) + "\n")
+        return out
+
+
+def read_jsonl(path: str | Path) -> list[dict[str, object]]:
+    """Parse a span JSONL file back into dicts (the export round-trip)."""
+    spans: list[dict[str, object]] = []
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                spans.append(json.loads(line))
+    return spans
+
+
+_DEFAULT_TRACER = Tracer()
+
+
+def default_tracer() -> Tracer:
+    """The process-wide tracer all built-in instrumentation reports to."""
+    return _DEFAULT_TRACER
+
+
+@contextmanager
+def root_span(experiment_id: str, **attributes: object) -> Iterator[Span | _NullSpan]:
+    """The experiment-level root span (``experiment:<id>``).
+
+    :func:`repro.experiments.registry.run_experiment` wraps every
+    registered experiment in one of these; extension experiments that run
+    outside the registry should do the same so their telemetry nests under
+    a single auditable root.
+    """
+    with default_tracer().span(
+        f"experiment:{experiment_id}", experiment=experiment_id, **attributes
+    ) as span:
+        yield span

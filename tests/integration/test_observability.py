@@ -1,0 +1,149 @@
+"""Integration: telemetry across the engine -> meter -> study pipeline."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.study import Study
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.obs.metrics import default_registry
+from repro.obs.tracing import default_tracer, read_jsonl
+from repro.workloads.catalog import benchmark
+
+
+def _counter_value(name: str) -> float:
+    metric = default_registry().get(name)
+    assert metric is not None, f"{name} not registered"
+    return metric.value
+
+
+@pytest.fixture
+def tracer():
+    tracer = default_tracer()
+    tracer.clear()
+    tracer.enable()
+    yield tracer
+    tracer.disable()
+    tracer.clear()
+
+
+class TestStudySpanTree:
+    def test_two_by_two_sweep_emits_expected_spans(self, references, tracer):
+        study = Study(references=references, invocation_scale=0.05)
+        benches = (benchmark("db"), benchmark("mcf"))
+        configs = (stock(ATOM_45), stock(CORE_I7_45))
+
+        with tracer.span("campaign") as root:
+            study.run(configs, benches)
+
+        measures = tracer.by_name("study.measure")
+        assert len(measures) == 4
+        assert all(span.parent_id == root.span_id for span in measures)
+        seen = {
+            (span.attributes["benchmark"], span.attributes["config"])
+            for span in measures
+        }
+        assert seen == {
+            (b.name, c.key) for b in benches for c in configs
+        }
+        assert all(span.duration_s > 0 for span in measures)
+        assert all(span.attributes["invocations"] >= 1 for span in measures)
+
+    def test_second_pass_is_cached_and_counted(self, references, tracer):
+        study = Study(references=references, invocation_scale=0.05)
+        benches = (benchmark("db"), benchmark("mcf"))
+        configs = (stock(ATOM_45), stock(CORE_I7_45))
+        study.run(configs, benches)
+
+        spans_before = len(tracer.finished)
+        hits_before = _counter_value("repro_study_cache_hits_total")
+        study.run(configs, benches)
+
+        # No new measurement spans: the cached fast path does no work.
+        assert len(tracer.by_name("study.measure")) == 4
+        assert len(tracer.finished) == spans_before
+        assert _counter_value("repro_study_cache_hits_total") - hits_before == 4
+
+
+class TestPipelineCounters:
+    def test_invocations_and_executions_advance_together(self, references):
+        study = Study(references=references, invocation_scale=0.05)
+        invocations_before = _counter_value("repro_study_invocations_total")
+        executions_before = _counter_value("repro_engine_executions_total")
+        result = study.measure(benchmark("vips"), stock(ATOM_45))
+        delta = _counter_value("repro_study_invocations_total") - invocations_before
+        assert delta == result.invocations
+        assert (
+            _counter_value("repro_engine_executions_total") - executions_before
+            == result.invocations
+        )
+
+    def test_meter_sample_counter_advances(self, references):
+        study = Study(references=references, invocation_scale=0.05)
+        samples = default_registry().get("repro_meter_samples_total")
+        before = samples.labels(machine="atom_45").value
+        study.measure(benchmark("lusearch"), stock(ATOM_45))
+        assert samples.labels(machine="atom_45").value > before
+
+    def test_measure_latency_histogram_fills(self, references):
+        histogram = default_registry().get("repro_measure_seconds")
+        before = histogram.count
+        study = Study(references=references, invocation_scale=0.05)
+        study.measure(benchmark("fop"), stock(ATOM_45))
+        assert histogram.count == before + 1
+
+
+class TestCliTelemetry:
+    def test_trace_and_metrics_flags_end_to_end(self, tmp_path, capsys):
+        trace_path = tmp_path / "spans.jsonl"
+        tracer = default_tracer()
+        tracer.clear()
+        try:
+            exit_code = main(
+                ["--quick", "--trace", str(trace_path), "--metrics",
+                 "experiment", "fig4"]
+            )
+        finally:
+            tracer.disable()
+            tracer.clear()
+        assert exit_code == 0
+
+        spans = read_jsonl(trace_path)
+        roots = [s for s in spans if s["parent_id"] is None]
+        assert [s["name"] for s in roots] == ["experiment:fig4"]
+        children = [
+            s for s in spans
+            if s["parent_id"] == roots[0]["span_id"]
+            and s["name"] == "study.measure"
+        ]
+        assert len(children) >= 1
+
+        out = capsys.readouterr().out
+        assert "repro_study_cache_hits_total" in out
+        assert "repro_engine_executions_total" in out
+        assert "# TYPE repro_measure_seconds histogram" in out
+        assert "repro_measure_seconds_bucket" in out
+
+    def test_stats_subcommand_prints_summary(self, capsys):
+        assert main(["--quick", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "repro_study_cache_hits_total" in out
+        assert "repro_engine_executions_total" in out
+        assert "repro_measure_seconds" in out
+
+    def test_progress_composes_with_quick(self, references):
+        # --quick scales the protocol; the progress total must follow it.
+        from repro.obs.progress import ProgressReporter
+        import io
+
+        reporter = ProgressReporter(stream=io.StringIO(), min_interval_s=0.0)
+        study = Study(
+            references=references, invocation_scale=0.2, progress=reporter
+        )
+        benches = (benchmark("db"), benchmark("mcf"))
+        study.run((stock(ATOM_45),), benches)
+        expected = sum(study.scaled_invocations(b) for b in benches)
+        assert reporter.total == expected
+        assert reporter.done == expected
+        full = Study(references=references, invocation_scale=1.0)
+        assert expected < sum(full.scaled_invocations(b) for b in benches)

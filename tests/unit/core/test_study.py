@@ -7,6 +7,7 @@ from repro.hardware.catalog import ATOM_45, CORE_I7_45
 from repro.hardware.config import stock
 from repro.runtime.methodology import protocol_for
 from repro.workloads.catalog import benchmark
+from repro.workloads.synthetic import synthetic
 
 
 class TestMeasure:
@@ -59,6 +60,65 @@ class TestRun:
             stock(ATOM_45).key,
             stock(CORE_I7_45).key,
         }
+
+
+class TestCacheKeying:
+    def test_same_name_different_signature_not_conflated(self, references):
+        """Regression: the cache keys by benchmark *value*, not name —
+        synthetic workloads may share a name while differing entirely."""
+        compute = synthetic("svc", boundness=0.05, reference_seconds=10.0)
+        memory = synthetic("svc", boundness=0.95, reference_seconds=30.0)
+        study = Study(references=references, invocation_scale=0.2)
+        config = stock(ATOM_45)
+        first = study.measure(compute, config)
+        second = study.measure(memory, config)
+        assert first.seconds != second.seconds
+        # Both stay cached independently.
+        assert study.measure(compute, config) is first
+        assert study.measure(memory, config) is second
+
+    def test_clear_cache_evicts(self, references):
+        study = Study(references=references, invocation_scale=0.2)
+        config = stock(ATOM_45)
+        first = study.measure(benchmark("db"), config)
+        assert study.is_cached(benchmark("db"), config)
+        study.clear_cache()
+        assert not study.is_cached(benchmark("db"), config)
+        assert study.measure(benchmark("db"), config) is not first
+
+
+class TestMeasurePurity:
+    def test_identical_result_after_cache_eviction(self, references):
+        """measure is pure: same inputs reproduce the identical RunResult
+        even after eviction (re-measurement, not a stale copy)."""
+        study = Study(references=references, invocation_scale=0.2)
+        config = stock(CORE_I7_45)
+        for name in ("db", "mcf"):
+            first = study.measure(benchmark(name), config)
+            study.clear_cache()
+            second = study.measure(benchmark(name), config)
+            assert first == second
+
+    def test_run_fast_path_preserves_results(self, references):
+        """Cached hits through run() return the very same objects measure
+        produced, so the fast path cannot drift from the slow path."""
+        study = Study(references=references, invocation_scale=0.2)
+        benches = (benchmark("db"), benchmark("mcf"))
+        first = study.run((stock(ATOM_45),), benches)
+        second = study.run((stock(ATOM_45),), benches)
+        assert all(a is b for a, b in zip(first, second))
+
+
+class TestScaledInvocations:
+    def test_planned_matches_performed(self, references):
+        study = Study(references=references, invocation_scale=0.2)
+        benches = (benchmark("db"), benchmark("vips"))
+        configs = (stock(ATOM_45),)
+        planned = study.planned_invocations(configs, benches)
+        results = study.run(configs, benches)
+        assert planned == sum(r.invocations for r in results)
+        # A fully cached sweep plans zero new work.
+        assert study.planned_invocations(configs, benches) == 0
 
 
 class TestDeterminism:

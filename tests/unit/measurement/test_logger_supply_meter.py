@@ -106,3 +106,53 @@ class TestMeter:
         fresh = PowerMeter(ATOM_45).measure(ex)
         cached = meter_for(ATOM_45).measure(ex)
         assert fresh.average_watts == cached.average_watts
+
+
+class TestSaturationTelemetry:
+    """Clamp-event metrics: the per-sample scan is gated on true power."""
+
+    def _execution(self, watts: float, seconds: float = 10.0):
+        from repro.core.quantities import Hertz, Seconds
+        from repro.execution.engine import Execution, Phase
+        from repro.hardware.events import EventCounts
+        from repro.hardware.turbo import TurboState
+
+        config = stock(ATOM_45)
+        phase = Phase(
+            name="serial",
+            seconds=seconds,
+            busy_cores=1.0,
+            utilisation=1.0,
+            frequency=config.spec.stock_clock,
+            turbo=TurboState(steps=0, frequency=config.spec.stock_clock),
+            power=Watts(watts),
+        )
+        return Execution(
+            benchmark=benchmark("db"),
+            config=config,
+            seconds=Seconds(seconds),
+            phases=(phase,),
+            events=EventCounts(1e9, 1e9, 0.0, 0.0, 0.0),
+        )
+
+    def test_saturated_run_counts_clamped_samples(self):
+        from repro.obs.metrics import default_registry
+
+        meter = PowerMeter(ATOM_45)
+        clamp = default_registry().get("repro_meter_clamp_events_total")
+        child = clamp.labels(machine=ATOM_45.key)
+        before = child.value
+        # The Atom rig uses the +/-5 A sensor on a 12 V rail: 80 W demands
+        # ~6.7 A, past the rail, so every sample saturates.
+        meter.measure(self._execution(watts=80.0))
+        assert child.value - before >= 400  # 10 s at 50 Hz, most samples
+
+    def test_comfortable_run_counts_nothing(self):
+        from repro.obs.metrics import default_registry
+
+        meter = PowerMeter(ATOM_45)
+        clamp = default_registry().get("repro_meter_clamp_events_total")
+        child = clamp.labels(machine=ATOM_45.key)
+        before = child.value
+        meter.measure(self._execution(watts=4.0))
+        assert child.value == before

@@ -1,0 +1,68 @@
+"""Unit tests for the exposition and summary-table exporters."""
+
+from repro.obs.export import render_prometheus, render_summary
+from repro.obs.metrics import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    hits = registry.counter("cache_hits_total", "Cache hits")
+    hits.inc(7)
+    phases = registry.counter("phases_total", "Phases by name")
+    phases.labels(phase="serial").inc(3)
+    phases.labels(phase="parallel").inc(1)
+    gauge = registry.gauge("in_flight", "Work in flight")
+    gauge.set(2)
+    hist = registry.histogram("latency_seconds", "Latency", buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(5.0)
+    return registry
+
+
+class TestPrometheusExposition:
+    def test_help_and_type_lines(self):
+        text = render_prometheus(_populated_registry())
+        assert "# HELP cache_hits_total Cache hits" in text
+        assert "# TYPE cache_hits_total counter" in text
+        assert "# TYPE in_flight gauge" in text
+        assert "# TYPE latency_seconds histogram" in text
+
+    def test_counter_and_gauge_samples(self):
+        text = render_prometheus(_populated_registry())
+        assert "cache_hits_total 7" in text
+        assert "in_flight 2" in text
+
+    def test_labelled_samples(self):
+        text = render_prometheus(_populated_registry())
+        assert 'phases_total{phase="serial"} 3' in text
+        assert 'phases_total{phase="parallel"} 1' in text
+
+    def test_histogram_exposition_is_cumulative(self):
+        text = render_prometheus(_populated_registry())
+        assert 'latency_seconds_bucket{le="0.1"} 1' in text
+        assert 'latency_seconds_bucket{le="1"} 2' in text
+        assert 'latency_seconds_bucket{le="+Inf"} 3' in text
+        assert "latency_seconds_count 3" in text
+        assert "latency_seconds_sum 5.55" in text
+
+    def test_ends_with_newline(self):
+        assert render_prometheus(_populated_registry()).endswith("\n")
+
+
+class TestSummaryTable:
+    def test_rows_for_every_populated_instrument(self):
+        table = render_summary(_populated_registry())
+        assert "cache_hits_total" in table
+        assert 'phases_total' in table
+        assert "latency_seconds" in table
+        assert "histogram" in table
+
+    def test_histogram_row_has_count_and_mean(self):
+        table = render_summary(_populated_registry())
+        row = next(l for l in table.splitlines() if "latency_seconds" in l)
+        assert "3" in row  # count
+        assert "1.85" in row  # mean of 0.05, 0.5, 5.0
+
+    def test_empty_registry_renders_placeholder(self):
+        assert render_summary(MetricsRegistry()) == "(no telemetry recorded)"

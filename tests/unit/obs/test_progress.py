@@ -1,0 +1,88 @@
+"""Unit tests for the rate/ETA progress reporter."""
+
+import io
+
+from repro.obs.progress import ProgressReporter, _format_eta
+
+
+class _FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+class TestEtaFormatting:
+    def test_minutes_seconds(self):
+        assert _format_eta(65) == "1:05"
+
+    def test_hours(self):
+        assert _format_eta(3725) == "1:02:05"
+
+    def test_clamps_negative(self):
+        assert _format_eta(-3) == "0:00"
+
+
+class TestProgressReporter:
+    def _reporter(self, total=None):
+        clock = _FakeClock()
+        stream = io.StringIO()
+        reporter = ProgressReporter(
+            total=total, stream=stream, clock=clock, min_interval_s=0.0
+        )
+        return reporter, clock, stream
+
+    def test_counts_and_rate(self):
+        reporter, clock, _ = self._reporter(total=10)
+        reporter.advance()
+        clock.now = 2.0
+        reporter.advance()
+        assert reporter.done == 2
+        assert reporter.rate == 1.0
+
+    def test_eta_in_rendered_line(self):
+        reporter, clock, _ = self._reporter(total=10)
+        reporter.advance()
+        clock.now = 2.0
+        reporter.advance()  # 2 done in 2 s -> 8 left at 1/s
+        line = reporter.render()
+        assert "[2/10 invocations]" in line
+        assert "eta 0:08" in line
+
+    def test_unknown_total_has_no_eta(self):
+        reporter, clock, _ = self._reporter()
+        reporter.advance()
+        clock.now = 1.0
+        reporter.advance()
+        line = reporter.render()
+        assert line.startswith("[2 invocations]")
+        assert "eta" not in line
+
+    def test_extend_total_accumulates(self):
+        reporter, _, _ = self._reporter()
+        reporter.extend_total(5)
+        reporter.extend_total(3)
+        assert reporter.total == 8
+
+    def test_writes_carriage_return_lines(self):
+        reporter, clock, stream = self._reporter(total=2)
+        reporter.advance()
+        clock.now = 1.0
+        reporter.advance()
+        reporter.finish()
+        output = stream.getvalue()
+        assert output.startswith("\r")
+        assert output.endswith("\n")
+        assert "[2/2 invocations]" in output
+
+    def test_silent_when_unused(self):
+        reporter, _, stream = self._reporter()
+        reporter.finish()
+        assert stream.getvalue() == ""
+
+    def test_rate_suppressed_on_first_tick(self):
+        reporter, _, _ = self._reporter(total=10)
+        reporter.advance()
+        assert reporter.rate == 0.0
+        assert "/s" not in reporter.render()

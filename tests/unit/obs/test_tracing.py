@@ -1,0 +1,115 @@
+"""Unit tests for hierarchical tracing: nesting, contextvars, JSONL."""
+
+import json
+
+from repro.obs.tracing import NULL_SPAN, Tracer, default_tracer, read_jsonl, root_span
+
+
+class TestSpanNesting:
+    def test_parent_propagates_through_nesting(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer") as outer:
+            with tracer.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+
+    def test_siblings_share_a_parent(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            with tracer.span("a") as a:
+                pass
+            with tracer.span("b") as b:
+                pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+        assert tracer.children_of(root) == (a, b)
+
+    def test_finished_in_completion_order(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        assert [s.name for s in tracer.finished] == ["inner", "outer"]
+        assert [s.name for s in tracer.roots()] == ["outer"]
+
+    def test_parent_restored_after_exception(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("root") as root:
+            try:
+                with tracer.span("boom"):
+                    raise RuntimeError("x")
+            except RuntimeError:
+                pass
+            with tracer.span("after") as after:
+                pass
+        assert after.parent_id == root.span_id
+
+    def test_durations_and_attributes_recorded(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work", benchmark="db") as span:
+            span.set_attribute("invocations", 4)
+        assert span.duration_s is not None and span.duration_s >= 0.0
+        assert span.attributes == {"benchmark": "db", "invocations": 4}
+
+
+class TestDisabledTracer:
+    def test_disabled_spans_are_null_and_unrecorded(self):
+        tracer = Tracer()
+        with tracer.span("ignored") as span:
+            span.set_attribute("k", "v")
+        assert span is NULL_SPAN
+        assert tracer.finished == []
+
+    def test_default_tracer_starts_disabled(self):
+        assert default_tracer() is default_tracer()
+
+
+class TestJsonlRoundTrip:
+    def test_export_and_read_back(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer", experiment="fig4"):
+            with tracer.span("inner", benchmark="db"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "spans.jsonl")
+        spans = read_jsonl(path)
+        assert len(spans) == 2
+        by_name = {s["name"]: s for s in spans}
+        assert by_name["inner"]["parent_id"] == by_name["outer"]["span_id"]
+        assert by_name["outer"]["attributes"]["experiment"] == "fig4"
+        assert by_name["inner"]["duration_s"] >= 0.0
+
+    def test_every_line_is_valid_json(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        for i in range(5):
+            with tracer.span(f"s{i}"):
+                pass
+        path = tracer.export_jsonl(tmp_path / "spans.jsonl")
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                record = json.loads(line)
+                assert {"name", "span_id", "parent_id", "start_unix_s",
+                        "duration_s", "attributes"} <= set(record)
+
+    def test_clear_resets_ids_and_spans(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("a"):
+            pass
+        tracer.clear()
+        assert tracer.finished == []
+        with tracer.span("b") as span:
+            pass
+        assert span.span_id == 1
+
+
+class TestRootSpanHelper:
+    def test_root_span_names_the_experiment(self):
+        tracer = default_tracer()
+        tracer.enable()
+        try:
+            with root_span("fig4") as span:
+                pass
+            assert span.name == "experiment:fig4"
+            assert span.attributes["experiment"] == "fig4"
+        finally:
+            tracer.disable()
+            tracer.clear()
