@@ -28,9 +28,10 @@ Quick start::
 """
 
 from repro.core.normalization import References
-from repro.core.results import ResultSet, RunResult
-from repro.core.study import Study, shared_study
+from repro.core.results import CampaignHealth, QuarantineEntry, ResultSet, RunResult
+from repro.core.study import Study, reset_shared_study, shared_study
 from repro.execution.engine import Execution, ExecutionEngine, default_engine
+from repro.faults import FaultPlan, FaultSpec, MeasurementError, RetryPolicy
 from repro.hardware.catalog import PROCESSORS, processor
 from repro.hardware.config import Configuration, stock
 from repro.hardware.configurations import (
@@ -47,14 +48,20 @@ __version__ = "1.0.0"
 __all__ = [
     "BENCHMARKS",
     "Benchmark",
+    "CampaignHealth",
     "Configuration",
     "Execution",
     "ExecutionEngine",
+    "FaultPlan",
+    "FaultSpec",
     "Group",
+    "MeasurementError",
     "PROCESSORS",
     "PowerMeter",
+    "QuarantineEntry",
     "References",
     "ResultSet",
+    "RetryPolicy",
     "RunResult",
     "Study",
     "all_configurations",
@@ -64,6 +71,7 @@ __all__ = [
     "meter_for",
     "node_45nm_configurations",
     "processor",
+    "reset_shared_study",
     "shared_study",
     "stock",
     "stock_configurations",

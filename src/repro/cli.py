@@ -17,6 +17,15 @@ Global telemetry flags (before the command):
 * ``--metrics`` — dump Prometheus-style exposition after the command;
 * ``--progress`` — live rate/ETA line on stderr (composes with
   ``--quick``: totals reflect the scaled invocation counts).
+
+Robustness flags on ``measure`` and ``dataset`` (see docs/robustness.md):
+
+* ``--inject PLAN`` — arm a fault plan (``demo``, ``ci``, or a JSON path);
+* ``--max-retries N`` — bound per-invocation retries (default 3);
+* ``--checkpoint PATH`` — append each new result to a JSONL checkpoint;
+* ``--resume PATH`` — preload a checkpoint before running (commonly the
+  same path as ``--checkpoint``, so a killed campaign picks up where it
+  stopped).
 """
 
 from __future__ import annotations
@@ -28,6 +37,10 @@ from typing import Optional, Sequence
 
 from repro.core.study import Study
 from repro.experiments.findings import evaluate_all
+from repro.faults.errors import MeasurementError
+from repro.faults.injector import install as install_faults, uninstall as uninstall_faults
+from repro.faults.plan import plan_from_arg
+from repro.faults.retry import RetryPolicy
 from repro.experiments.registry import EXPERIMENTS, EXTENSIONS, run_experiment
 from repro.hardware.catalog import ATOM_45, CORE_I7_45, PROCESSORS, processor
 from repro.hardware.config import stock
@@ -73,6 +86,33 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
+    def add_robustness_flags(cmd: argparse.ArgumentParser) -> None:
+        cmd.add_argument(
+            "--inject",
+            metavar="PLAN",
+            default=None,
+            help="arm a fault plan: 'demo', 'ci', or a JSON plan path",
+        )
+        cmd.add_argument(
+            "--max-retries",
+            type=int,
+            default=None,
+            metavar="N",
+            help="retries per invocation before quarantine (default 3)",
+        )
+        cmd.add_argument(
+            "--checkpoint",
+            metavar="PATH",
+            default=None,
+            help="append each newly measured result to a JSONL checkpoint",
+        )
+        cmd.add_argument(
+            "--resume",
+            metavar="PATH",
+            default=None,
+            help="preload a JSONL checkpoint before running",
+        )
+
     list_cmd = commands.add_parser("list", help="catalog views")
     list_cmd.add_argument(
         "what",
@@ -86,6 +126,7 @@ def _build_parser() -> argparse.ArgumentParser:
     measure.add_argument("--threads", type=int, default=None)
     measure.add_argument("--clock", type=float, default=None)
     measure.add_argument("--no-turbo", action="store_true")
+    add_robustness_flags(measure)
 
     experiment = commands.add_parser("experiment", help="regenerate an artifact")
     experiment.add_argument(
@@ -99,6 +140,7 @@ def _build_parser() -> argparse.ArgumentParser:
     dataset.add_argument(
         "--configs", choices=("stock", "45nm", "all"), default="stock"
     )
+    add_robustness_flags(dataset)
 
     figure = commands.add_parser("figure", help="draw a character figure")
     figure.add_argument(
@@ -198,7 +240,16 @@ def _dataset(args: argparse.Namespace, study: Study) -> str:
     }[args.configs]()
     results = study.run(configs)
     path = results.to_csv(args.output)
-    return f"wrote {len(results)} rows to {path}"
+    lines = [f"wrote {len(results)} rows to {path}"]
+    health = results.health
+    if health is not None and (
+        health.total_failures
+        or health.quarantined
+        or health.restored_pairs
+        or health.remeasured_outliers
+    ):
+        lines.append(health.summary())
+    return "\n".join(lines)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -215,10 +266,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         tracer.enable()
     progress = ProgressReporter(stream=sys.stderr) if args.progress else None
+
+    # Robustness options exist only on measure/dataset; default elsewhere.
+    inject = getattr(args, "inject", None)
+    max_retries = getattr(args, "max_retries", None)
+    checkpoint = getattr(args, "checkpoint", None)
+    resume = getattr(args, "resume", None)
+    if checkpoint is not None:
+        parent = Path(checkpoint).resolve().parent
+        if not parent.is_dir():
+            print(
+                f"error: --checkpoint directory does not exist: {parent}",
+                file=sys.stderr,
+            )
+            return 2
     study = Study(
         invocation_scale=0.2 if args.quick else 1.0,
         progress=progress,
+        retry=RetryPolicy(max_retries=max_retries)
+        if max_retries is not None
+        else None,
+        checkpoint_path=checkpoint,
     )
+    if resume is not None:
+        if Path(resume).exists():
+            restored = study.restore_checkpoint(resume)
+            print(f"resumed {restored} results from {resume}", file=sys.stderr)
+        elif resume != checkpoint:
+            # A missing --resume that is also the --checkpoint target is a
+            # cold start (first run of a resumable campaign), not an error.
+            print(f"error: --resume file does not exist: {resume}", file=sys.stderr)
+            return 2
+    if inject is not None:
+        try:
+            install_faults(plan_from_arg(inject))
+        except (OSError, ValueError) as exc:
+            print(f"error: --inject: {exc}", file=sys.stderr)
+            return 2
 
     try:
         if args.command == "list":
@@ -242,7 +326,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(renderer(study))
         elif args.command == "stats":
             print(_stats(study))
+    except MeasurementError as exc:
+        # A single quarantined pair fails `measure` outright; sweeps
+        # (`dataset`) absorb failures into CampaignHealth instead.
+        print(f"error: measurement failed: {exc}", file=sys.stderr)
+        return 3
     finally:
+        if inject is not None:
+            uninstall_faults()
         if progress is not None:
             progress.finish()
         if args.trace:

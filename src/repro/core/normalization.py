@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.execution.engine import ExecutionEngine, default_engine
+from repro.faults.injector import shielded
 from repro.hardware.catalog import reference_processors
 from repro.hardware.config import stock
 from repro.measurement.meter import meter_for
@@ -54,12 +55,15 @@ class References:
         if cached is not None:
             return cached
         powers = []
-        for spec in reference_processors():
-            execution = self._engine.ideal(benchmark, stock(spec))
-            measurement = meter_for(spec).measure(
-                execution, run_salt=f"reference/{benchmark.name}"
-            )
-            powers.append(measurement.average_watts)
+        # The reference baseline is analytical (ideal executions), not a
+        # campaign run: shield it from any armed fault injector.
+        with shielded():
+            for spec in reference_processors():
+                execution = self._engine.ideal(benchmark, stock(spec))
+                measurement = meter_for(spec).measure(
+                    execution, run_salt=f"reference/{benchmark.name}"
+                )
+                powers.append(measurement.average_watts)
         mean_power = sum(powers) / len(powers)
         energy = mean_power * self.time_seconds(benchmark)
         self._energy_cache[benchmark.name] = energy

@@ -124,6 +124,43 @@ def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
     return LinearFit(slope=float(slope), intercept=float(intercept), r_squared=r_squared)
 
 
+def median_abs_deviation(samples: Sequence[float]) -> float:
+    """Median absolute deviation from the median (unscaled)."""
+    if len(samples) == 0:
+        raise ValueError("MAD of empty sample set")
+    arr = np.asarray(samples, dtype=float)
+    return float(np.median(np.abs(arr - np.median(arr))))
+
+
+#: Consistency constant mapping MAD to the normal sigma (Iglewicz-Hoaglin).
+_MAD_TO_SIGMA = 0.6745
+
+
+def mad_outlier_indices(
+    samples: Sequence[float], threshold: float = 3.5
+) -> tuple[int, ...]:
+    """Indices whose modified z-score ``0.6745 * |x - med| / MAD`` exceeds
+    ``threshold`` — the robust screen the study uses to spot invocations a
+    sensor glitch or saturation burst has corrupted.
+
+    A zero MAD (at least half the samples identical) yields no outliers:
+    with the majority in exact agreement there is no robust scale to
+    judge deviation against, and flagging everything else would turn the
+    screen into a trigger-happy re-measure loop.  Fewer than four samples
+    also yield none (the median of three is too easily dragged).
+    """
+    if threshold <= 0:
+        raise ValueError("threshold must be positive")
+    if len(samples) < 4:
+        return ()
+    arr = np.asarray(samples, dtype=float)
+    mad = median_abs_deviation(arr)
+    if mad == 0.0:
+        return ()
+    scores = _MAD_TO_SIGMA * np.abs(arr - np.median(arr)) / mad
+    return tuple(int(i) for i in np.flatnonzero(scores > threshold))
+
+
 def geometric_mean(samples: Sequence[float]) -> float:
     """Geometric mean of strictly positive samples.
 

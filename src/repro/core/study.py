@@ -14,23 +14,49 @@ cache does: synthetic workloads may share a name while differing in
 signature, and a name-keyed cache would silently hand one workload the
 other's measurements.
 
+The study is also the campaign's *survival* layer.  The paper's physical
+rig really failed — invocations crashed and hung, the logger disconnected
+— and the authors silently re-ran them; here that recovery is explicit:
+each invocation runs under a bounded :class:`~repro.faults.RetryPolicy`
+(exponential backoff + jitter, a cumulative simulated-timeout budget),
+suspect invocations can be re-measured via a MAD outlier screen, pairs
+that exhaust their retries are quarantined instead of aborting the sweep,
+``run()`` returns a partial :class:`ResultSet` carrying a
+:class:`~repro.core.results.CampaignHealth` report, and an optional JSONL
+checkpoint lets an interrupted campaign resume where it stopped.
+
 The study is the natural place to account for the campaign, so it is
-instrumented: cache hits/misses and invocations feed the process metrics
-registry, each uncached measurement runs under a ``study.measure`` span,
-and an optional :class:`~repro.obs.progress.ProgressReporter` receives one
-tick per invocation (scaled counts under ``invocation_scale``).
+instrumented: cache hits/misses, invocations, retries, quarantines, and
+checkpoint restores feed the process metrics registry, each uncached
+measurement runs under a ``study.measure`` span, and an optional
+:class:`~repro.obs.progress.ProgressReporter` receives one tick per
+invocation (scaled counts under ``invocation_scale``).
 """
 
 from __future__ import annotations
 
+import json
 import math
 import time
+from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
 from repro.core.normalization import References
-from repro.core.results import ResultSet, RunResult
-from repro.core.statistics import confidence_interval
+from repro.core.results import (
+    CampaignHealth,
+    QuarantineEntry,
+    ResultSet,
+    RunResult,
+)
+from repro.core.statistics import confidence_interval, mad_outlier_indices
 from repro.execution.engine import ExecutionEngine
+from repro.faults.errors import (
+    InvocationTimeout,
+    MeasurementError,
+    RetriesExhausted,
+)
+from repro.faults.injector import attempt_scope
+from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.hardware.config import Configuration
 from repro.hardware.processor import ProcessorSpec
 from repro.measurement.meter import PowerMeter, meter_for
@@ -39,7 +65,7 @@ from repro.obs.progress import ProgressReporter
 from repro.obs.tracing import default_tracer
 from repro.runtime.methodology import MeasurementProtocol, protocol_for
 from repro.workloads.benchmark import Benchmark
-from repro.workloads.catalog import BENCHMARKS
+from repro.workloads.catalog import BENCHMARKS, BENCHMARKS_BY_NAME
 
 _REGISTRY = default_registry()
 _CACHE_HITS = _REGISTRY.counter(
@@ -58,6 +84,41 @@ _MEASURE_SECONDS = _REGISTRY.histogram(
     "repro_measure_seconds",
     "Latency of one uncached Study.measure (all invocations)",
 )
+_RETRIES = _REGISTRY.counter(
+    "repro_study_retries_total",
+    "Invocation retries after a measurement-pipeline failure",
+)
+_QUARANTINED = _REGISTRY.counter(
+    "repro_study_quarantined_pairs_total",
+    "(benchmark, configuration) pairs quarantined after exhausting retries",
+)
+_REMEASURES = _REGISTRY.counter(
+    "repro_study_outlier_remeasures_total",
+    "Invocations re-measured after the MAD outlier screen flagged them",
+)
+_RESTORED = _REGISTRY.counter(
+    "repro_study_checkpoint_restores_total",
+    "Cache entries restored from a checkpoint file",
+)
+
+
+class _Stats:
+    """Lifetime failure accounting for one study; ``run`` snapshots it to
+    build per-campaign :class:`CampaignHealth` deltas."""
+
+    __slots__ = ("retries", "remeasures", "failures")
+
+    def __init__(self) -> None:
+        self.retries = 0
+        self.remeasures = 0
+        self.failures: dict[str, int] = {}
+
+    def record_failure(self, error: MeasurementError) -> None:
+        name = type(error).__name__
+        self.failures[name] = self.failures.get(name, 0) + 1
+
+    def snapshot(self) -> tuple[int, int, dict[str, int]]:
+        return self.retries, self.remeasures, dict(self.failures)
 
 
 class Study:
@@ -68,7 +129,11 @@ class Study:
     1.0 is the paper's full protocol.  ``progress`` receives one tick per
     invocation; ``instrument=False`` takes a telemetry-free path through
     ``measure`` — no counters, spans, or clock reads — which is what the
-    overhead benchmark baselines against.
+    overhead benchmark baselines against.  ``retry`` governs recovery
+    from measurement failures (the default retries each invocation up to
+    three times without sleeping); ``checkpoint_path`` appends every new
+    result to a JSONL file so a killed campaign can
+    :meth:`restore_checkpoint` and continue where it stopped.
     """
 
     def __init__(
@@ -79,16 +144,28 @@ class Study:
         benchmarks: Sequence[Benchmark] = BENCHMARKS,
         progress: Optional[ProgressReporter] = None,
         instrument: bool = True,
+        retry: Optional[RetryPolicy] = None,
+        checkpoint_path: Optional[Path | str] = None,
     ) -> None:
-        if invocation_scale <= 0:
-            raise ValueError("invocation scale must be positive")
+        if not math.isfinite(invocation_scale) or invocation_scale <= 0:
+            raise ValueError(
+                f"invocation scale must be positive and finite, "
+                f"got {invocation_scale!r}"
+            )
         self._references = references or References(engine)
         self._engine = self._references.engine
         self._scale = invocation_scale
         self._benchmarks = tuple(benchmarks)
         self._progress = progress
         self._instrument = instrument
+        self._retry = retry or DEFAULT_RETRY_POLICY
+        self._checkpoint_path = (
+            Path(checkpoint_path) if checkpoint_path is not None else None
+        )
         self._cache: dict[tuple[Benchmark, str], RunResult] = {}
+        self._restored_keys: set[tuple[Benchmark, str]] = set()
+        self._quarantine: dict[tuple[Benchmark, str], QuarantineEntry] = {}
+        self._stats = _Stats()
         # Memoised per-benchmark protocol and per-machine meter lookups:
         # a 61x45 sweep re-derives neither inside the measurement loop.
         self._protocols: dict[Benchmark, MeasurementProtocol] = {}
@@ -110,15 +187,32 @@ class Study:
     def progress(self) -> Optional[ProgressReporter]:
         return self._progress
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._retry
+
+    @property
+    def quarantined(self) -> tuple[QuarantineEntry, ...]:
+        """Pairs that exhausted their retries, in quarantine order."""
+        return tuple(self._quarantine.values())
+
     # -- caching / planning ----------------------------------------------------
 
     def clear_cache(self) -> None:
         """Evict every cached result (measurements are pure, so a re-run
         reproduces the identical dataset)."""
         self._cache.clear()
+        self._restored_keys.clear()
+
+    def clear_quarantine(self) -> None:
+        """Give quarantined pairs another chance on the next sweep."""
+        self._quarantine.clear()
 
     def is_cached(self, benchmark: Benchmark, config: Configuration) -> bool:
         return (benchmark, config.key) in self._cache
+
+    def is_quarantined(self, benchmark: Benchmark, config: Configuration) -> bool:
+        return (benchmark, config.key) in self._quarantine
 
     def scaled_invocations(self, benchmark: Benchmark) -> int:
         """Protocol repetitions after ``invocation_scale`` (floored at 1)."""
@@ -130,13 +224,15 @@ class Study:
         configurations: Iterable[Configuration],
         benchmarks: Optional[Sequence[Benchmark]] = None,
     ) -> int:
-        """Invocations a sweep would actually execute (uncached pairs only)."""
+        """Invocations a sweep would actually execute (uncached,
+        unquarantined pairs only)."""
         chosen = tuple(benchmarks) if benchmarks is not None else self._benchmarks
         return sum(
             self.scaled_invocations(benchmark)
             for config in configurations
             for benchmark in chosen
             if not self.is_cached(benchmark, config)
+            and not self.is_quarantined(benchmark, config)
         )
 
     def _protocol(self, benchmark: Benchmark) -> MeasurementProtocol:
@@ -153,23 +249,93 @@ class Study:
             self._meters[spec.key] = meter
         return meter
 
+    # -- checkpointing ---------------------------------------------------------
+
+    def enable_checkpoint(self, path: Path | str) -> None:
+        """Start appending every newly measured result to ``path``."""
+        self._checkpoint_path = Path(path)
+
+    def save_checkpoint(self, path: Path | str) -> Path:
+        """Write the entire result cache as one JSONL checkpoint."""
+        out = Path(path)
+        with out.open("w", encoding="utf-8") as fh:
+            for (benchmark, _config_key), result in self._cache.items():
+                fh.write(json.dumps(result.as_record()) + "\n")
+        return out
+
+    def restore_checkpoint(self, path: Path | str) -> int:
+        """Load a JSONL checkpoint into the result cache.
+
+        Returns the number of entries restored.  Records for benchmarks
+        this study does not know (e.g. synthetics from another session)
+        and malformed trailing lines — the expected residue of a campaign
+        killed mid-write — are skipped, not fatal: a checkpoint is a
+        cache, and the worst a skipped line costs is one re-measurement.
+        """
+        by_name = {b.name: b for b in self._benchmarks}
+        restored = 0
+        with Path(path).open("r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    result = RunResult.from_record(record)
+                except (ValueError, KeyError, TypeError):
+                    continue  # truncated / malformed line: re-measure instead
+                benchmark = by_name.get(result.benchmark_name) or (
+                    BENCHMARKS_BY_NAME.get(result.benchmark_name)
+                )
+                if benchmark is None:
+                    continue
+                key = (benchmark, result.config_key)
+                if key not in self._cache:
+                    self._cache[key] = result
+                    self._restored_keys.add(key)
+                    restored += 1
+        if self._instrument and restored:
+            _RESTORED.inc(restored)
+        return restored
+
+    def _checkpoint_append(self, result: RunResult) -> None:
+        if self._checkpoint_path is None:
+            return
+        with self._checkpoint_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(result.as_record()) + "\n")
+
     # -- measurement ----------------------------------------------------------
 
     def measure(self, benchmark: Benchmark, config: Configuration) -> RunResult:
-        """Measure one benchmark on one configuration (cached)."""
+        """Measure one benchmark on one configuration (cached).
+
+        Raises :class:`~repro.faults.RetriesExhausted` if an invocation
+        keeps failing through the retry policy, or immediately if the
+        pair is already quarantined; ``run()`` turns both into quarantine
+        entries instead of propagating.
+        """
         cache_key = (benchmark, config.key)
         cached = self._cache.get(cache_key)
         if cached is not None:
             if self._instrument:
                 _CACHE_HITS.inc()
             return cached
+        entry = self._quarantine.get(cache_key)
+        if entry is not None:
+            raise RetriesExhausted(
+                f"{benchmark.name} @ {config.key} is quarantined: {entry.reason}",
+                site=f"{config.key}/{benchmark.name}",
+            )
         if not self._instrument:
             # The uninstrumented-equivalent path: no counters, no span, no
             # clock reads — what the overhead benchmark baselines against.
             result = self._measure_uncached(benchmark, config)
             self._cache[cache_key] = result
+            self._checkpoint_append(result)
             return result
         _CACHE_MISSES.inc()
+        retries_before = self._stats.retries
+        remeasures_before = self._stats.remeasures
         with default_tracer().span(
             "study.measure", benchmark=benchmark.name, config=config.key
         ) as span:
@@ -177,9 +343,75 @@ class Study:
             result = self._measure_uncached(benchmark, config)
             span.set_attribute("invocations", result.invocations)
             span.set_attribute("seconds", round(result.seconds, 6))
+            retries = self._stats.retries - retries_before
+            remeasures = self._stats.remeasures - remeasures_before
+            if retries:
+                span.set_attribute("retries", retries)
+            if remeasures:
+                span.set_attribute("outlier_remeasures", remeasures)
             _MEASURE_SECONDS.observe(time.perf_counter() - started)
         self._cache[cache_key] = result
+        self._checkpoint_append(result)
         return result
+
+    def _metered_invocation(
+        self,
+        benchmark: Benchmark,
+        config: Configuration,
+        index: int,
+        protocol: MeasurementProtocol,
+        meter: PowerMeter,
+    ) -> tuple[float, float]:
+        """One invocation through engine and meter, with bounded retries.
+
+        The site key doubles as the run salt, so measurement noise is a
+        function of the site alone while injected-fault decisions also see
+        the attempt (via :func:`~repro.faults.injector.attempt_scope`):
+        a recovered fail-stop fault reproduces the fault-free measurement
+        exactly.  Returns ``(seconds, average_watts)``.
+        """
+        site = f"{config.key}/{benchmark.name}/{index}"
+        policy = self._retry
+        hung_s = 0.0
+        attempt = 0
+        while True:
+            try:
+                with attempt_scope(attempt):
+                    execution = self._engine.execute(
+                        benchmark, config,
+                        invocation=index,
+                        iteration=protocol.iteration,
+                    )
+                    measurement = meter.measure(execution, run_salt=site)
+                return execution.seconds.value, measurement.average_watts
+            except RetriesExhausted:
+                raise
+            except MeasurementError as exc:
+                self._stats.record_failure(exc)
+                if isinstance(exc, InvocationTimeout):
+                    hung_s += exc.elapsed_s
+                if attempt >= policy.max_retries:
+                    raise RetriesExhausted(
+                        f"{site} failed {attempt + 1} attempts "
+                        f"(last: {exc})",
+                        site=site,
+                        last_error=exc,
+                    ) from exc
+                if hung_s > policy.timeout_budget_s:
+                    raise RetriesExhausted(
+                        f"{site} spent a simulated {hung_s:g}s hung, past "
+                        f"its {policy.timeout_budget_s:g}s budget "
+                        f"(last: {exc})",
+                        site=site,
+                        last_error=exc,
+                    ) from exc
+                attempt += 1
+                self._stats.retries += 1
+                if self._instrument:
+                    _RETRIES.inc()
+                delay = policy.delay_for(attempt, site)
+                if delay > 0.0:
+                    time.sleep(delay)
 
     def _measure_uncached(
         self, benchmark: Benchmark, config: Configuration
@@ -191,21 +423,19 @@ class Study:
         times: list[float] = []
         powers: list[float] = []
         for invocation in range(invocations):
-            execution = self._engine.execute(
-                benchmark, config,
-                invocation=invocation,
-                iteration=protocol.iteration,
+            seconds, watts = self._metered_invocation(
+                benchmark, config, invocation, protocol, meter
             )
-            measurement = meter.measure(
-                execution,
-                run_salt=f"{config.key}/{benchmark.name}/{invocation}",
-            )
-            times.append(execution.seconds.value)
-            powers.append(measurement.average_watts)
+            times.append(seconds)
+            powers.append(watts)
             if self._progress is not None:
                 self._progress.advance()
         if self._instrument:
             _INVOCATIONS.inc(invocations)
+
+        self._remeasure_outliers(
+            benchmark, config, protocol, meter, times, powers, invocations
+        )
 
         time_ci = confidence_interval(times)
         power_ci = confidence_interval(powers)
@@ -227,16 +457,55 @@ class Study:
             invocations=invocations,
         )
 
+    def _remeasure_outliers(
+        self,
+        benchmark: Benchmark,
+        config: Configuration,
+        protocol: MeasurementProtocol,
+        meter: PowerMeter,
+        times: list[float],
+        powers: list[float],
+        invocations: int,
+    ) -> None:
+        """MAD outlier screen: re-measure suspect invocations in place.
+
+        Replacement runs use salt indices past the protocol's range, so
+        they draw fresh noise (re-running the same salt would reproduce
+        the same glitch) without disturbing the other invocations'
+        streams.  Off unless the policy sets ``outlier_threshold``, which
+        keeps the default protocol byte-identical to the unscreened one.
+        """
+        threshold = self._retry.outlier_threshold
+        if threshold is None or self._retry.max_remeasures <= 0:
+            return
+        suspects = sorted(
+            set(mad_outlier_indices(powers, threshold))
+            | set(mad_outlier_indices(times, threshold))
+        )
+        for index in suspects[: self._retry.max_remeasures]:
+            seconds, watts = self._metered_invocation(
+                benchmark, config, invocations + index, protocol, meter
+            )
+            times[index] = seconds
+            powers[index] = watts
+            self._stats.remeasures += 1
+            if self._instrument:
+                _REMEASURES.inc()
+
     def run(
         self,
         configurations: Iterable[Configuration],
         benchmarks: Optional[Sequence[Benchmark]] = None,
     ) -> ResultSet:
-        """Measure every benchmark on every configuration.
+        """Measure every benchmark on every configuration, resiliently.
 
-        Cached pairs take a fast path that touches nothing but the cache
-        dict (no protocol/meter derivation, no span); only actual misses
-        enter :meth:`measure`'s measurement machinery.
+        Pairs that exhaust the retry policy are quarantined — recorded in
+        the returned set's :class:`CampaignHealth` and skipped by later
+        sweeps — instead of aborting the campaign, so one pathological
+        (benchmark, configuration) cell cannot take down a 61x45 sweep.
+        Every pair funnels through :meth:`measure`, whose cache-hit fast
+        path touches nothing but the cache dict and one counter, so hit
+        and miss accounting cannot diverge between entry points.
         """
         chosen = tuple(benchmarks) if benchmarks is not None else self._benchmarks
         pairs = [
@@ -249,19 +518,57 @@ class Study:
                 sum(
                     self.scaled_invocations(b)
                     for b, c in pairs
-                    if not self.is_cached(b, c)
+                    if not self.is_cached(b, c) and not self.is_quarantined(b, c)
                 )
             )
+        retries_0, remeasures_0, failures_0 = self._stats.snapshot()
+        measured = cached = restored = 0
+        quarantined: list[QuarantineEntry] = []
         results: list[RunResult] = []
         for benchmark, config in pairs:
-            cached = self._cache.get((benchmark, config.key))
-            if cached is not None:
-                if self._instrument:
-                    _CACHE_HITS.inc()
-                results.append(cached)
-            else:
+            key = (benchmark, config.key)
+            entry = self._quarantine.get(key)
+            if entry is not None:
+                quarantined.append(entry)
+                continue
+            was_cached = key in self._cache
+            try:
                 results.append(self.measure(benchmark, config))
-        return ResultSet(results)
+            except MeasurementError as exc:
+                entry = QuarantineEntry(
+                    benchmark_name=benchmark.name,
+                    config_key=config.key,
+                    reason=str(exc),
+                )
+                self._quarantine[key] = entry
+                quarantined.append(entry)
+                if self._instrument:
+                    _QUARANTINED.inc()
+                continue
+            if was_cached:
+                if key in self._restored_keys:
+                    restored += 1
+                else:
+                    cached += 1
+            else:
+                measured += 1
+        retries_1, remeasures_1, failures_1 = self._stats.snapshot()
+        failures = {
+            name: count - failures_0.get(name, 0)
+            for name, count in failures_1.items()
+            if count - failures_0.get(name, 0) > 0
+        }
+        health = CampaignHealth(
+            attempted_pairs=len(pairs),
+            measured_pairs=measured,
+            cached_pairs=cached,
+            restored_pairs=restored,
+            retries=retries_1 - retries_0,
+            remeasured_outliers=remeasures_1 - remeasures_0,
+            failures=failures,
+            quarantined=tuple(quarantined),
+        )
+        return ResultSet(results, health=health)
 
     def run_config(
         self,
@@ -282,3 +589,11 @@ def shared_study() -> Study:
     if _SHARED_STUDY is None:
         _SHARED_STUDY = Study()
     return _SHARED_STUDY
+
+
+def reset_shared_study() -> None:
+    """Drop the process-wide study so the next :func:`shared_study` call
+    builds a fresh one — test fixtures use this to stop one test's cached
+    campaign (or quarantine list) leaking into the next."""
+    global _SHARED_STUDY
+    _SHARED_STUDY = None

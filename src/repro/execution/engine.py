@@ -21,6 +21,7 @@ from typing import Optional
 from repro.core.quantities import Hertz, Joules, Seconds, Watts, energy
 from repro.core.seeding import rng_for, run_key
 from repro.execution.cpi import CpiBreakdown, thread_cpi
+from repro.faults.injector import active as _faults_active
 from repro.execution.scaling import (
     Placement,
     aggregate_throughput,
@@ -150,7 +151,19 @@ class ExecutionEngine:
 
         ``iteration`` defaults to the steady-state iteration for Java and
         is ignored for native benchmarks (they have no warm-up).
+
+        An armed fault injector may abort the invocation here with
+        :class:`~repro.faults.InvocationCrash` or
+        :class:`~repro.faults.InvocationTimeout` — before the execution
+        counter ticks, so telemetry counts completed runs.  Calibration
+        probes and :meth:`ideal` bypass the hook: they model the
+        analytical reference, not a run of the physical rig.
         """
+        injector = _faults_active()
+        if injector is not None:
+            injector.check_invocation(
+                f"{config.key}/{benchmark.name}/{invocation}"
+            )
         _EXECUTIONS.inc()
         instructions = self.instructions_for(benchmark)
         noise = self._noise(benchmark, config, invocation)

@@ -15,6 +15,7 @@ from repro.core.statistics import mean
 from repro.core.study import Study
 from repro.execution.engine import ExecutionEngine
 from repro.experiments.base import ExperimentResult, resolve_study
+from repro.faults.injector import shielded
 from repro.hardware.catalog import CORE_I7_45
 from repro.hardware.config import stock
 from repro.runtime.vendors import VENDORS, JvmVendor
@@ -30,10 +31,20 @@ def _vendor_times(vendor: JvmVendor) -> dict[str, tuple[float, float]]:
     from repro.measurement.meter import meter_for
 
     meter = meter_for(CORE_I7_45)
-    for bench in by_group(Group.JAVA_NONSCALABLE) + by_group(Group.JAVA_SCALABLE):
-        execution = engine.ideal(bench, config)
-        measured = meter.measure(execution, run_salt=f"{vendor.name}/{bench.name}")
-        outcome[bench.name] = (execution.seconds.value, measured.average_watts)
+    # A vendor comparison over ideal executions is analytical, not a rig
+    # campaign: shield it from any armed fault injector.
+    with shielded():
+        for bench in by_group(Group.JAVA_NONSCALABLE) + by_group(
+            Group.JAVA_SCALABLE
+        ):
+            execution = engine.ideal(bench, config)
+            measured = meter.measure(
+                execution, run_salt=f"{vendor.name}/{bench.name}"
+            )
+            outcome[bench.name] = (
+                execution.seconds.value,
+                measured.average_watts,
+            )
     return outcome
 
 

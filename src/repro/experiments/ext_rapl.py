@@ -13,6 +13,7 @@ from typing import Optional
 from repro.core.statistics import mean
 from repro.core.study import Study
 from repro.experiments.base import ExperimentResult, resolve_study
+from repro.faults.injector import shielded
 from repro.hardware.catalog import ATOM_45, CORE_I5_32, CORE_I7_45
 from repro.hardware.config import stock
 from repro.measurement.meter import meter_for
@@ -32,13 +33,16 @@ def run(study: Optional[Study] = None) -> ExperimentResult:
         meter = meter_for(spec)
         config = stock(spec)
         disagreements = []
-        for bench in benchmarks:
-            execution = engine.ideal(bench, config)
-            hall = meter.measure(
-                execution, run_salt=f"rapl-val/{bench.name}"
-            ).average_watts
-            rapl = rapl_power(execution).value
-            disagreements.append(abs(hall - rapl) / rapl)
+        # An instrument cross-validation over ideal executions is
+        # analytical, not a rig campaign: shield it from fault injection.
+        with shielded():
+            for bench in benchmarks:
+                execution = engine.ideal(bench, config)
+                hall = meter.measure(
+                    execution, run_salt=f"rapl-val/{bench.name}"
+                ).average_watts
+                rapl = rapl_power(execution).value
+                disagreements.append(abs(hall - rapl) / rapl)
         rows.append(
             {
                 "processor": spec.label,

@@ -1,0 +1,202 @@
+"""Declarative, seeded fault plans.
+
+A :class:`FaultPlan` says *what* can go wrong and *how often*; the
+injector (:mod:`repro.faults.injector`) decides, deterministically, *when*
+it actually does.  Every draw is keyed by ``(plan seed, fault kind, site,
+attempt)`` through the same SHA-256 seeding the rest of the library uses,
+so a plan reproduces the identical failure sequence on every run — the
+property the paper's authors did *not* have when their physical rig
+misbehaved.
+
+Fault kinds (the taxonomy in :mod:`docs/robustness.md`):
+
+========================  ====================================================
+``invocation.crash``      the benchmark process dies before producing a run
+``invocation.hang``       the invocation exceeds its timeout budget
+``logger.disconnect``     the AVR stick drops off the USB bus mid-run
+``logger.gap``            a contiguous window of samples is lost
+``sensor.glitch``         isolated full-scale spikes in the code stream
+``sensor.drift``          a slow additive ramp across the run's codes
+``sensor.stuck``          the ADC reports one frozen code for the whole run
+``meter.saturation``      a burst of samples pinned to the sensor rail
+========================  ====================================================
+
+The first three are *fail-stop*: the run aborts and a retry re-measures
+it from scratch (reproducing the fault-free result exactly, because
+measurement noise is keyed by site alone while fault draws are keyed by
+site *and* attempt).  The rest are *corrupting*: the run completes but
+its samples are wrong, which is what the study's MAD outlier screen and
+the meter's clamp telemetry exist to catch.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass
+from fnmatch import fnmatchcase
+from pathlib import Path
+from typing import Mapping
+
+#: Every kind the injector knows how to fire, by pipeline stage.
+FAIL_STOP_KINDS = (
+    "invocation.crash",
+    "invocation.hang",
+    "logger.disconnect",
+)
+CORRUPTING_KINDS = (
+    "logger.gap",
+    "sensor.glitch",
+    "sensor.drift",
+    "sensor.stuck",
+    "meter.saturation",
+)
+KNOWN_KINDS = FAIL_STOP_KINDS + CORRUPTING_KINDS
+
+#: Default kind-specific magnitudes, in each kind's natural unit.
+DEFAULT_MAGNITUDES: Mapping[str, float] = {
+    "invocation.hang": 300.0,  # simulated seconds hung before giving up
+    "logger.disconnect": 0.0,  # fraction of the run logged before the drop
+    "logger.gap": 0.25,  # fraction of samples lost
+    "sensor.glitch": 0.02,  # fraction of samples spiked
+    "sensor.drift": 40.0,  # codes of ramp across the run
+    "sensor.stuck": 0.0,  # unused (the stuck code is drawn per fault)
+    "meter.saturation": 0.3,  # fraction of the run railed
+}
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One kind of fault, how likely it is, and where it may fire.
+
+    ``probability`` is per *opportunity* — one engine invocation for
+    invocation faults, one logged run for sensor/logger/meter faults.
+    ``scope`` is an ``fnmatch`` pattern over the site key
+    (``config/benchmark/invocation``), so a spec can target one machine
+    (``"i7_45*"``), one benchmark (``"*/db/*"``), or everything (``"*"``).
+    ``magnitude`` overrides the kind's default severity.
+    """
+
+    kind: str
+    probability: float
+    scope: str = "*"
+    magnitude: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in KNOWN_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; known: {', '.join(KNOWN_KINDS)}"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability must be in [0, 1]: {self.probability}")
+        if self.magnitude is not None and not math.isfinite(self.magnitude):
+            raise ValueError("magnitude must be finite")
+
+    @property
+    def severity(self) -> float:
+        if self.magnitude is not None:
+            return self.magnitude
+        return DEFAULT_MAGNITUDES.get(self.kind, 0.0)
+
+    def applies_to(self, site: str) -> bool:
+        return fnmatchcase(site, self.scope)
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {"kind": self.kind, "probability": self.probability}
+        if self.scope != "*":
+            out["scope"] = self.scope
+        if self.magnitude is not None:
+            out["magnitude"] = self.magnitude
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A reproducible failure schedule for a whole campaign.
+
+    ``seed`` re-rolls every fault decision at once without touching the
+    measurement noise streams (they derive from the library root seed,
+    not the plan's).
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: str = "faultplan"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def specs_for_stage(self, stage: str) -> tuple[FaultSpec, ...]:
+        """Specs whose kind lives in ``stage`` (the prefix before the dot)."""
+        return tuple(s for s in self.specs if s.kind.split(".")[0] == stage)
+
+    @property
+    def fail_stop_only(self) -> bool:
+        """True when no spec can corrupt a completed run's samples —
+        the regime in which retries reproduce fault-free results exactly."""
+        return all(s.kind in FAIL_STOP_KINDS for s in self.specs)
+
+    def as_dict(self) -> dict[str, object]:
+        return {"seed": self.seed, "faults": [s.as_dict() for s in self.specs]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FaultPlan":
+        try:
+            raw_specs = data.get("faults", ())
+            specs = tuple(
+                FaultSpec(
+                    kind=str(entry["kind"]),
+                    probability=float(entry["probability"]),
+                    scope=str(entry.get("scope", "*")),
+                    magnitude=(
+                        float(entry["magnitude"])
+                        if entry.get("magnitude") is not None
+                        else None
+                    ),
+                )
+                for entry in raw_specs  # type: ignore[union-attr]
+            )
+        except (KeyError, TypeError) as exc:
+            raise ValueError(f"malformed fault plan: {exc}") from exc
+        return cls(specs=specs, seed=str(data.get("seed", "faultplan")))
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "FaultPlan":
+        with Path(path).open("r", encoding="utf-8") as fh:
+            return cls.from_dict(json.load(fh))
+
+    def to_json(self, path: str | Path) -> Path:
+        out = Path(path)
+        out.write_text(json.dumps(self.as_dict(), indent=2) + "\n", encoding="utf-8")
+        return out
+
+
+def demo_plan(probability: float = 0.05, seed: str = "demo") -> FaultPlan:
+    """A plan that exercises every stage — crashes, hangs, disconnects,
+    gaps, glitches, drift, and saturation bursts — at ``probability``."""
+    return FaultPlan(
+        specs=tuple(
+            FaultSpec(kind=kind, probability=probability) for kind in KNOWN_KINDS
+        ),
+        seed=seed,
+    )
+
+
+def fail_stop_plan(probability: float = 0.02, seed: str = "ci") -> FaultPlan:
+    """Fail-stop faults only: safe to run under golden-value test suites,
+    because every retried run reproduces its fault-free measurement."""
+    return FaultPlan(
+        specs=tuple(
+            FaultSpec(kind=kind, probability=probability) for kind in FAIL_STOP_KINDS
+        ),
+        seed=seed,
+    )
+
+
+def plan_from_arg(arg: str) -> FaultPlan:
+    """Resolve a CLI ``--inject`` argument: the name of a canned plan
+    (``demo``, ``ci``) or a path to a JSON plan file."""
+    if arg == "demo":
+        return demo_plan()
+    if arg == "ci":
+        return fail_stop_plan()
+    return FaultPlan.from_json(arg)

@@ -7,7 +7,7 @@ from repro.measurement.calibration import (
     reference_currents,
 )
 from repro.measurement.logger import DataLogger, LoggedRun, SAMPLE_RATE_HZ
-from repro.measurement.meter import Measurement, PowerMeter, meter_for
+from repro.measurement.meter import Measurement, PowerMeter, meter_for, reset_meters
 from repro.measurement.sensor import HallEffectSensor, sensor_for_processor
 from repro.measurement.supply import ProcessorSupply
 
@@ -24,5 +24,6 @@ __all__ = [
     "calibrate",
     "meter_for",
     "reference_currents",
+    "reset_meters",
     "sensor_for_processor",
 ]

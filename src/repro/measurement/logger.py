@@ -6,6 +6,13 @@ data-logging device.  We use a data-sampling rate of 50 Hz."
 
 The logger samples the sensor's analog output on a fixed clock for the
 duration of a benchmark run and emits the raw integer codes.
+
+This is also where an armed fault injector touches the sample stream:
+sensor-stage corruptions (glitches, drift, stuck-at codes) apply to the
+codes as they are read, and logger-stage faults (sample gaps, mid-run
+disconnects) to what survives onto the USB bus.  Calibration reads the
+sensor directly and is never corrupted — a broken calibration would fail
+the R² gate rather than model a run-time fault.
 """
 
 from __future__ import annotations
@@ -15,7 +22,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.execution.trace import PowerTrace
-from repro.measurement.sensor import HallEffectSensor
+from repro.faults.injector import active as _faults_active
+from repro.measurement.sensor import ADC_COUNTS, HallEffectSensor
 from repro.measurement.supply import ProcessorSupply
 
 #: The paper's sampling rate.
@@ -34,7 +42,12 @@ class LoggedRun:
         if len(self.sample_times) != len(self.codes):
             raise ValueError("sample times and codes must align")
         if len(self.codes) == 0:
-            raise ValueError("a logged run needs at least one sample")
+            raise ValueError(
+                "a logged run needs at least one sample: the sample array "
+                "is empty, which usually means a logger dropout or "
+                "disconnect consumed the whole record — re-run the "
+                "invocation rather than averaging nothing"
+            )
 
     @property
     def sample_count(self) -> int:
@@ -73,4 +86,10 @@ class DataLogger:
         true_watts = trace.powers_at(times)
         currents = true_watts / voltages
         codes = self.sensor.read_codes(currents, seed_salt=run_salt)
+        injector = _faults_active()
+        if injector is not None:
+            codes = injector.corrupt_sensor_codes(
+                run_salt, codes, ADC_COUNTS - 1
+            )
+            times, codes = injector.filter_logged_samples(run_salt, times, codes)
         return LoggedRun(sample_times=times, codes=codes, rate_hz=self.rate_hz)

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.quantities import Watts
 from repro.execution.engine import Execution
 from repro.execution.trace import trace_of
+from repro.faults.injector import active as _faults_active
 from repro.hardware.processor import ProcessorSpec
 from repro.measurement.calibration import SensorCalibration, calibrate
 from repro.measurement.logger import DataLogger, LoggedRun
@@ -84,6 +85,10 @@ class PowerMeter:
                                   float(ADC_COUNTS - 1))
         self._sat_code_low = max(fit.intercept - fit.slope * rail + guard, 0.0)
         self._sat_scan_watts = 0.9 * rail * self._supply.nominal.value
+        # The unguarded code the sensor pins at when driven past +range —
+        # where an injected saturation burst parks its samples.
+        self._rail_code = int(round(min(fit.intercept + fit.slope * rail,
+                                        float(ADC_COUNTS - 1))))
 
     @property
     def spec(self) -> ProcessorSpec:
@@ -97,6 +102,13 @@ class PowerMeter:
     def calibration(self) -> SensorCalibration:
         return self._calibration
 
+    def clamped_sample_count(self, codes: np.ndarray) -> int:
+        """Samples sitting on (or within the guard band of) either rail —
+        the quantity the clamp-event telemetry reports."""
+        return int(np.count_nonzero(
+            (codes <= self._sat_code_low) | (codes >= self._sat_code_high)
+        ))
+
     def measure(self, execution: Execution, run_salt: str = "run0") -> Measurement:
         """Measure one execution: log at 50 Hz, calibrate codes back to
         amperes, convert to watts on the nominal rail, and average."""
@@ -107,17 +119,26 @@ class PowerMeter:
             )
         trace = trace_of(execution)
         logged = self._logger.log(trace, run_salt=run_salt)
+        injector = _faults_active()
+        if injector is not None:
+            faulted = injector.saturate_meter_codes(
+                run_salt, logged.codes, self._rail_code
+            )
+            if faulted is not logged.codes:
+                logged = LoggedRun(
+                    sample_times=logged.sample_times,
+                    codes=faulted,
+                    rate_hz=logged.rate_hz,
+                )
         if _metrics_enabled():
             self._samples_metric.inc(logged.sample_count)
             # Samples can only sit on a rail if some phase's true power
             # approaches the sensor's range, so a scalar compare against
-            # the trace's peak level gates the per-sample scan.
-            if max(trace.levels) >= self._sat_scan_watts:
-                codes = logged.codes
-                clamped = int(np.count_nonzero(
-                    (codes <= self._sat_code_low)
-                    | (codes >= self._sat_code_high)
-                ))
+            # the trace's peak level gates the per-sample scan — except
+            # under fault injection, where a saturation burst can rail
+            # samples at any true power and must still be counted.
+            if injector is not None or max(trace.levels) >= self._sat_scan_watts:
+                clamped = self.clamped_sample_count(logged.codes)
                 if clamped:
                     self._clamp_metric.inc(clamped)
         watts = self._watts_from(logged)
@@ -143,3 +164,10 @@ def meter_for(spec: ProcessorSpec) -> PowerMeter:
         meter = PowerMeter(spec)
         _METERS[spec.key] = meter
     return meter
+
+
+def reset_meters() -> None:
+    """Tear down every cached meter so the next :func:`meter_for` builds
+    and recalibrates afresh — test fixtures use this to stop one test's
+    rig state leaking into the next."""
+    _METERS.clear()

@@ -49,6 +49,69 @@ class TestMeasure:
             main(["--quick", "measure", "nope", "i7_45"])
 
 
+class TestRobustnessFlags:
+    def test_measure_under_injection_recovers(self, capsys):
+        out = _run(
+            capsys, "--quick", "measure", "db", "atom_45",
+            "--inject", "ci", "--max-retries", "8",
+        )
+        assert "db" in out
+
+    def test_bad_plan_exits_with_error(self, capsys):
+        assert main(
+            ["--quick", "measure", "db", "atom_45", "--inject", "/no/plan.json"]
+        ) == 2
+        assert "--inject" in capsys.readouterr().err
+
+    def test_checkpoint_then_resume(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "c.jsonl")
+        first = _run(
+            capsys, "--quick", "measure", "db", "atom_45",
+            "--checkpoint", checkpoint,
+        )
+        assert main(
+            ["--quick", "measure", "db", "atom_45",
+             "--checkpoint", checkpoint, "--resume", checkpoint]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "resumed 1 results" in captured.err
+        assert captured.out == first
+
+    def test_resume_same_as_checkpoint_is_a_cold_start(self, capsys, tmp_path):
+        checkpoint = str(tmp_path / "fresh.jsonl")
+        _run(
+            capsys, "--quick", "measure", "db", "atom_45",
+            "--checkpoint", checkpoint, "--resume", checkpoint,
+        )
+
+    def test_exhausted_retries_exit_cleanly(self, capsys, tmp_path):
+        from repro.faults.plan import FaultPlan, FaultSpec
+
+        plan_path = tmp_path / "always_crash.json"
+        FaultPlan(
+            specs=(FaultSpec(kind="invocation.crash", probability=1.0),)
+        ).to_json(plan_path)
+        assert main(
+            ["--quick", "measure", "db", "atom_45",
+             "--inject", str(plan_path), "--max-retries", "1"]
+        ) == 3
+        assert "measurement failed" in capsys.readouterr().err
+
+    def test_missing_resume_file_errors(self, capsys, tmp_path):
+        assert main(
+            ["--quick", "measure", "db", "atom_45",
+             "--resume", str(tmp_path / "nope.jsonl")]
+        ) == 2
+        assert "--resume" in capsys.readouterr().err
+
+    def test_missing_checkpoint_directory_errors(self, capsys, tmp_path):
+        assert main(
+            ["--quick", "measure", "db", "atom_45",
+             "--checkpoint", str(tmp_path / "no/such/dir/c.jsonl")]
+        ) == 2
+        assert "--checkpoint" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_experiment(self, capsys):
         out = _run(capsys, "--quick", "experiment", "table3")

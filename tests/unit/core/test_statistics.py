@@ -137,3 +137,46 @@ class TestRelativeRange:
     def test_rejects_nonpositive(self):
         with pytest.raises(ValueError):
             relative_range([0.0, 1.0])
+
+
+class TestMedianAbsDeviation:
+    def test_known_value(self):
+        from repro.core.statistics import median_abs_deviation
+
+        # median 3; |x - 3| = [2, 1, 0, 1, 2] whose median is 1.
+        assert median_abs_deviation([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+    def test_constant_samples_have_zero_mad(self):
+        from repro.core.statistics import median_abs_deviation
+
+        assert median_abs_deviation([7.0, 7.0, 7.0, 7.0]) == 0.0
+
+
+class TestMadOutlierIndices:
+    def test_flags_the_gross_outlier(self):
+        from repro.core.statistics import mad_outlier_indices
+
+        samples = [10.0, 10.1, 9.9, 10.05, 50.0]
+        assert mad_outlier_indices(samples) == (4,)
+
+    def test_clean_samples_flag_nothing(self):
+        from repro.core.statistics import mad_outlier_indices
+
+        assert mad_outlier_indices([10.0, 10.1, 9.9, 10.05]) == ()
+
+    def test_small_and_degenerate_samples_are_never_flagged(self):
+        from repro.core.statistics import mad_outlier_indices
+
+        # Fewer than four samples: no robust scale estimate.
+        assert mad_outlier_indices([1.0, 100.0, 1.0]) == ()
+        # Zero MAD (majority identical): the screen abstains rather than
+        # dividing by zero and flagging everything off-median.
+        assert mad_outlier_indices([5.0, 5.0, 5.0, 5.0, 9.0]) == ()
+
+    def test_threshold_tightens_the_screen(self):
+        from repro.core.statistics import mad_outlier_indices
+
+        samples = [10.0, 10.4, 9.6, 10.2, 9.8, 11.5]
+        loose = mad_outlier_indices(samples, threshold=10.0)
+        tight = mad_outlier_indices(samples, threshold=2.0)
+        assert set(loose) <= set(tight)

@@ -1,0 +1,120 @@
+"""Unit tests for the declarative fault-plan layer."""
+
+import math
+
+import pytest
+
+from repro.faults.plan import (
+    CORRUPTING_KINDS,
+    DEFAULT_MAGNITUDES,
+    FAIL_STOP_KINDS,
+    KNOWN_KINDS,
+    FaultPlan,
+    FaultSpec,
+    demo_plan,
+    fail_stop_plan,
+    plan_from_arg,
+)
+
+
+class TestFaultSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultSpec(kind="sensor.explodes", probability=0.1)
+
+    @pytest.mark.parametrize("p", [-0.1, 1.1, 2.0])
+    def test_probability_bounds(self, p):
+        with pytest.raises(ValueError, match="probability"):
+            FaultSpec(kind="invocation.crash", probability=p)
+
+    @pytest.mark.parametrize("magnitude", [math.nan, math.inf, -math.inf])
+    def test_magnitude_must_be_finite(self, magnitude):
+        with pytest.raises(ValueError, match="finite"):
+            FaultSpec(kind="sensor.drift", probability=0.1, magnitude=magnitude)
+
+    def test_severity_defaults_per_kind(self):
+        for kind in KNOWN_KINDS:
+            spec = FaultSpec(kind=kind, probability=0.5)
+            assert spec.severity == DEFAULT_MAGNITUDES.get(kind, 0.0)
+
+    def test_magnitude_overrides_severity(self):
+        spec = FaultSpec(kind="sensor.drift", probability=0.5, magnitude=123.0)
+        assert spec.severity == 123.0
+
+    def test_scope_matching(self):
+        spec = FaultSpec(kind="invocation.crash", probability=1.0, scope="i7_45*")
+        assert spec.applies_to("i7_45-stock/db/0")
+        assert not spec.applies_to("atom_45-stock/db/0")
+        benchmark_scoped = FaultSpec(
+            kind="invocation.crash", probability=1.0, scope="*/db/*"
+        )
+        assert benchmark_scoped.applies_to("i7_45-stock/db/3")
+        assert not benchmark_scoped.applies_to("i7_45-stock/mcf/3")
+
+    def test_default_scope_matches_everything(self):
+        spec = FaultSpec(kind="logger.gap", probability=0.5)
+        assert spec.applies_to("anything/at/all")
+
+
+class TestFaultPlan:
+    def test_specs_for_stage(self):
+        plan = demo_plan(0.1)
+        assert {s.kind for s in plan.specs_for_stage("invocation")} == {
+            "invocation.crash",
+            "invocation.hang",
+        }
+        assert {s.kind for s in plan.specs_for_stage("logger")} == {
+            "logger.disconnect",
+            "logger.gap",
+        }
+        assert {s.kind for s in plan.specs_for_stage("sensor")} == {
+            "sensor.glitch",
+            "sensor.drift",
+            "sensor.stuck",
+        }
+        assert {s.kind for s in plan.specs_for_stage("meter")} == {
+            "meter.saturation"
+        }
+
+    def test_fail_stop_only(self):
+        assert fail_stop_plan().fail_stop_only
+        assert FaultPlan().fail_stop_only
+        assert not demo_plan().fail_stop_only
+
+    def test_taxonomy_is_partitioned(self):
+        assert set(FAIL_STOP_KINDS).isdisjoint(CORRUPTING_KINDS)
+        assert set(KNOWN_KINDS) == set(FAIL_STOP_KINDS) | set(CORRUPTING_KINDS)
+
+    def test_dict_round_trip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(kind="invocation.crash", probability=0.02),
+                FaultSpec(
+                    kind="sensor.drift",
+                    probability=0.1,
+                    scope="i7_45*",
+                    magnitude=80.0,
+                ),
+            ),
+            seed="round-trip",
+        )
+        assert FaultPlan.from_dict(plan.as_dict()) == plan
+
+    def test_json_round_trip(self, tmp_path):
+        plan = demo_plan(0.07, seed="json")
+        path = plan.to_json(tmp_path / "plan.json")
+        assert FaultPlan.from_json(path) == plan
+
+    def test_malformed_dict_rejected(self):
+        with pytest.raises(ValueError, match="malformed fault plan"):
+            FaultPlan.from_dict({"faults": [{"probability": 0.1}]})
+
+    def test_plan_from_arg(self, tmp_path):
+        assert plan_from_arg("demo") == demo_plan()
+        assert plan_from_arg("ci") == fail_stop_plan()
+        path = demo_plan(0.5, seed="file").to_json(tmp_path / "p.json")
+        assert plan_from_arg(str(path)) == demo_plan(0.5, seed="file")
+
+    def test_canned_plans_cover_the_taxonomy(self):
+        assert {s.kind for s in demo_plan().specs} == set(KNOWN_KINDS)
+        assert {s.kind for s in fail_stop_plan().specs} == set(FAIL_STOP_KINDS)

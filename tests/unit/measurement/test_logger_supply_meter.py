@@ -71,6 +71,16 @@ class TestLogger:
         with pytest.raises(ValueError):
             DataLogger(HallEffectSensor("x"), ProcessorSupply("x"), rate_hz=0.0)
 
+    def test_empty_record_error_names_the_likely_cause(self):
+        from repro.measurement.logger import LoggedRun
+
+        with pytest.raises(ValueError, match="dropout or"):
+            LoggedRun(
+                sample_times=np.array([]),
+                codes=np.array([], dtype=np.int64),
+                rate_hz=SAMPLE_RATE_HZ,
+            )
+
 
 class TestMeter:
     def test_measures_within_two_percent(self, engine):

@@ -1,0 +1,117 @@
+"""Boundary tests for the meter's saturation (clamp) telemetry guard.
+
+The meter precomputes ``_sat_code_low`` / ``_sat_code_high`` — the code
+band within :data:`~repro.measurement.meter._SAT_GUARD_CODES` of either
+sensor rail — and a ``_sat_scan_watts`` gate that keeps the per-sample
+clamp scan off the hot path for comfortably-powered runs.  These tests
+pin the behaviour exactly at the band edges, one code either side, and on
+both sides of the power gate.
+"""
+
+import numpy as np
+
+from repro.core.quantities import Seconds, Watts
+from repro.execution.engine import Execution, Phase
+from repro.faults.injector import injected
+from repro.hardware.events import EventCounts
+from repro.hardware.turbo import TurboState
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.measurement.meter import PowerMeter
+from repro.measurement.sensor import ADC_COUNTS
+from repro.obs.metrics import default_registry
+from repro.workloads.catalog import benchmark
+
+CLEAN = FaultPlan()
+
+
+def _execution(spec, watts, seconds=10.0):
+    config = stock(spec)
+    phase = Phase(
+        name="serial",
+        seconds=seconds,
+        busy_cores=1.0,
+        utilisation=1.0,
+        frequency=config.spec.stock_clock,
+        turbo=TurboState(steps=0, frequency=config.spec.stock_clock),
+        power=Watts(watts),
+    )
+    return Execution(
+        benchmark=benchmark("db"),
+        config=config,
+        seconds=Seconds(seconds),
+        phases=(phase,),
+        events=EventCounts(1e9, 1e9, 0.0, 0.0, 0.0),
+    )
+
+
+class TestClampBandBoundaries:
+    def test_codes_on_and_inside_the_rails_count(self):
+        meter = PowerMeter(CORE_I7_45)
+        low, high = meter._sat_code_low, meter._sat_code_high
+        assert 0.0 < low < high < float(ADC_COUNTS)
+        on_the_edges = np.array([low, high])
+        assert meter.clamped_sample_count(on_the_edges) == 2
+        beyond = np.array([low - 1.0, high + 1.0, 0.0, float(ADC_COUNTS - 1)])
+        assert meter.clamped_sample_count(beyond) == 4
+
+    def test_one_code_inside_the_band_does_not_count(self):
+        meter = PowerMeter(CORE_I7_45)
+        comfortable = np.array(
+            [meter._sat_code_low + 1.0, meter._sat_code_high - 1.0]
+        )
+        assert meter.clamped_sample_count(comfortable) == 0
+
+    def test_rail_code_sits_in_the_clamp_band(self):
+        # An injected saturation burst parks samples at _rail_code, which
+        # must register as clamped or the telemetry would miss it.
+        meter = PowerMeter(ATOM_45)
+        assert meter.clamped_sample_count(
+            np.array([float(meter._rail_code)])
+        ) == 1
+
+
+class TestScanGate:
+    def _clamp_delta(self, meter, execution, salt):
+        child = default_registry().get(
+            "repro_meter_clamp_events_total"
+        ).labels(machine=meter.spec.key)
+        before = child.value
+        meter.measure(execution, run_salt=salt)
+        return child.value - before
+
+    def test_low_power_run_skips_the_scan(self):
+        meter = PowerMeter(CORE_I7_45)
+        execution = _execution(CORE_I7_45, watts=40.0)
+        assert max(
+            p.power.value for p in execution.phases
+        ) < meter._sat_scan_watts
+        with injected(CLEAN):
+            assert self._clamp_delta(meter, execution, "gate-low") == 0.0
+
+    def test_power_past_the_gate_scans_and_counts(self):
+        meter = PowerMeter(ATOM_45)
+        # 80 W on the Atom's +/-5 A, 12 V rig rails every sample.
+        execution = _execution(ATOM_45, watts=80.0)
+        assert max(
+            p.power.value for p in execution.phases
+        ) >= meter._sat_scan_watts
+        with injected(CLEAN):
+            assert self._clamp_delta(meter, execution, "gate-high") > 0.0
+
+    def test_injected_saturation_is_counted_even_at_low_power(self):
+        # The gate must not hide an injected burst: a low-power run whose
+        # samples were railed by the injector still reports clamp events.
+        meter = PowerMeter(CORE_I7_45)
+        execution = _execution(CORE_I7_45, watts=40.0)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    kind="meter.saturation", probability=1.0, magnitude=0.3
+                ),
+            )
+        )
+        with injected(plan):
+            delta = self._clamp_delta(meter, execution, "gate-burst")
+        assert delta > 0.0
