@@ -16,7 +16,10 @@ Global telemetry flags (before the command):
 * ``--trace PATH.jsonl`` — export a span per experiment/measurement;
 * ``--metrics`` — dump Prometheus-style exposition after the command;
 * ``--progress`` — live rate/ETA line on stderr (composes with
-  ``--quick``: totals reflect the scaled invocation counts).
+  ``--quick``: totals reflect the scaled invocation counts);
+* ``--jobs N`` — worker processes for sweeps (default ``auto`` = CPU
+  count; ``none`` forces the in-process path).  Results, health, and
+  checkpoints are byte-identical at any worker count.
 
 Robustness flags on ``measure`` and ``dataset`` (see docs/robustness.md):
 
@@ -83,6 +86,14 @@ def _build_parser() -> argparse.ArgumentParser:
         "--progress",
         action="store_true",
         help="show a live rate/ETA progress line on stderr",
+    )
+    parser.add_argument(
+        "--jobs",
+        metavar="N",
+        default="auto",
+        help="worker processes for sweeps: an integer, 'auto' (CPU "
+        "count; the default), or 'none' to force the in-process path — "
+        "results are byte-identical at any setting",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -280,6 +291,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 file=sys.stderr,
             )
             return 2
+    jobs: Optional[int | str]
+    if args.jobs in ("none", "1") or args.jobs is None:
+        # jobs=1 through the pool would be pure overhead from the CLI;
+        # the in-process path produces the identical bytes.
+        jobs = None
+    elif args.jobs == "auto":
+        jobs = "auto"
+    else:
+        try:
+            jobs = int(args.jobs)
+        except ValueError:
+            print(
+                f"error: --jobs must be an integer, 'auto', or 'none', "
+                f"got {args.jobs!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if jobs < 0:
+            print("error: --jobs cannot be negative", file=sys.stderr)
+            return 2
     study = Study(
         invocation_scale=0.2 if args.quick else 1.0,
         progress=progress,
@@ -287,6 +318,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if max_retries is not None
         else None,
         checkpoint_path=checkpoint,
+        jobs=jobs,
     )
     if resume is not None:
         if Path(resume).exists():

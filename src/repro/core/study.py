@@ -37,9 +37,10 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import time
 from pathlib import Path
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.normalization import References
 from repro.core.results import (
@@ -55,12 +56,12 @@ from repro.faults.errors import (
     MeasurementError,
     RetriesExhausted,
 )
-from repro.faults.injector import attempt_scope
+from repro.faults.injector import active as _faults_active, attempt_scope
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 from repro.hardware.config import Configuration
 from repro.hardware.processor import ProcessorSpec
 from repro.measurement.meter import PowerMeter, meter_for
-from repro.obs.metrics import default_registry
+from repro.obs.metrics import default_registry, enabled as _metrics_enabled
 from repro.obs.progress import ProgressReporter
 from repro.obs.tracing import default_tracer
 from repro.runtime.methodology import MeasurementProtocol, protocol_for
@@ -104,18 +105,27 @@ _RESTORED = _REGISTRY.counter(
 
 class _Stats:
     """Lifetime failure accounting for one study; ``run`` snapshots it to
-    build per-campaign :class:`CampaignHealth` deltas."""
+    build per-campaign :class:`CampaignHealth` deltas.
 
-    __slots__ = ("retries", "remeasures", "failures")
+    ``events`` keeps every failure's type name in observation order: pool
+    workers slice it per pair so the parent can replay failures at each
+    pair's position and reproduce the sequential campaign's failure-dict
+    insertion order exactly."""
+
+    __slots__ = ("retries", "remeasures", "failures", "events")
 
     def __init__(self) -> None:
         self.retries = 0
         self.remeasures = 0
         self.failures: dict[str, int] = {}
+        self.events: list[str] = []
 
     def record_failure(self, error: MeasurementError) -> None:
-        name = type(error).__name__
+        self.record_failure_name(type(error).__name__)
+
+    def record_failure_name(self, name: str) -> None:
         self.failures[name] = self.failures.get(name, 0) + 1
+        self.events.append(name)
 
     def snapshot(self) -> tuple[int, int, dict[str, int]]:
         return self.retries, self.remeasures, dict(self.failures)
@@ -134,6 +144,13 @@ class Study:
     three times without sleeping); ``checkpoint_path`` appends every new
     result to a JSONL file so a killed campaign can
     :meth:`restore_checkpoint` and continue where it stopped.
+
+    ``jobs`` shards sweeps across a process pool: ``None`` (the default)
+    runs in-process, an integer pins the worker count, and ``"auto"``
+    (or 0) uses the machine's CPU count.  Because every measurement is
+    pure and keyed by deterministic per-site seeds, a parallel ``run()``
+    returns results, health, and checkpoint bytes identical to the
+    sequential path at any worker count (see docs/performance.md).
     """
 
     def __init__(
@@ -146,6 +163,7 @@ class Study:
         instrument: bool = True,
         retry: Optional[RetryPolicy] = None,
         checkpoint_path: Optional[Path | str] = None,
+        jobs: Optional[Union[int, str]] = None,
     ) -> None:
         if not math.isfinite(invocation_scale) or invocation_scale <= 0:
             raise ValueError(
@@ -162,6 +180,7 @@ class Study:
         self._checkpoint_path = (
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
+        self._jobs = jobs
         self._cache: dict[tuple[Benchmark, str], RunResult] = {}
         self._restored_keys: set[tuple[Benchmark, str]] = set()
         self._quarantine: dict[tuple[Benchmark, str], QuarantineEntry] = {}
@@ -256,11 +275,17 @@ class Study:
         self._checkpoint_path = Path(path)
 
     def save_checkpoint(self, path: Path | str) -> Path:
-        """Write the entire result cache as one JSONL checkpoint."""
+        """Write the entire result cache as one JSONL checkpoint.
+
+        Records are emitted in sorted (benchmark, configuration) order,
+        so the file's bytes are independent of the order the cache was
+        populated in — the same dataset produces the same checkpoint
+        whether it was measured sequentially, in parallel, or resumed."""
         out = Path(path)
+        ordered = sorted(self._cache, key=lambda key: (key[0].name, key[1]))
         with out.open("w", encoding="utf-8") as fh:
-            for (benchmark, _config_key), result in self._cache.items():
-                fh.write(json.dumps(result.as_record()) + "\n")
+            for key in ordered:
+                fh.write(json.dumps(self._cache[key].as_record()) + "\n")
         return out
 
     def restore_checkpoint(self, path: Path | str) -> int:
@@ -420,16 +445,27 @@ class Study:
         invocations = self.scaled_invocations(benchmark)
         meter = self._meter(config.spec)
 
-        times: list[float] = []
-        powers: list[float] = []
-        for invocation in range(invocations):
-            seconds, watts = self._metered_invocation(
-                benchmark, config, invocation, protocol, meter
+        if _faults_active() is None:
+            # Nothing can fail without an armed injector, so the retry
+            # loop degenerates: run all invocations through the engine,
+            # then push the whole batch through the logger/calibration
+            # pipeline in one vectorised pass.  Bit-identical to the
+            # per-invocation path (the batch transfer is elementwise and
+            # the code mean is an exact integer sum).
+            times, powers = self._measure_batched(
+                benchmark, config, invocations, protocol, meter
             )
-            times.append(seconds)
-            powers.append(watts)
-            if self._progress is not None:
-                self._progress.advance()
+        else:
+            times = []
+            powers = []
+            for invocation in range(invocations):
+                seconds, watts = self._metered_invocation(
+                    benchmark, config, invocation, protocol, meter
+                )
+                times.append(seconds)
+                powers.append(watts)
+                if self._progress is not None:
+                    self._progress.advance()
         if self._instrument:
             _INVOCATIONS.inc(invocations)
 
@@ -456,6 +492,39 @@ class Study:
             power_ci=power_ci,
             invocations=invocations,
         )
+
+    def _measure_batched(
+        self,
+        benchmark: Benchmark,
+        config: Configuration,
+        invocations: int,
+        protocol: MeasurementProtocol,
+        meter: PowerMeter,
+    ) -> tuple[list[float], list[float]]:
+        """All of a pair's invocations through one vectorised meter pass.
+
+        Only taken with no fault injector armed: each site's run salt and
+        noise streams are exactly those of :meth:`_metered_invocation`,
+        so the batch reproduces the per-invocation measurements bit for
+        bit while paying the numpy dispatch cost once per pair instead of
+        once per invocation."""
+        executions = []
+        salts = []
+        for index in range(invocations):
+            executions.append(
+                self._engine.execute(
+                    benchmark, config,
+                    invocation=index,
+                    iteration=protocol.iteration,
+                )
+            )
+            salts.append(f"{config.key}/{benchmark.name}/{index}")
+        measurements = meter.measure_batch(executions, salts)
+        if self._progress is not None:
+            self._progress.advance(invocations)
+        times = [execution.seconds.value for execution in executions]
+        powers = [measurement.average_watts for measurement in measurements]
+        return times, powers
 
     def _remeasure_outliers(
         self,
@@ -496,6 +565,7 @@ class Study:
         self,
         configurations: Iterable[Configuration],
         benchmarks: Optional[Sequence[Benchmark]] = None,
+        jobs: Optional[Union[int, str]] = None,
     ) -> ResultSet:
         """Measure every benchmark on every configuration, resiliently.
 
@@ -506,6 +576,13 @@ class Study:
         Every pair funnels through :meth:`measure`, whose cache-hit fast
         path touches nothing but the cache dict and one counter, so hit
         and miss accounting cannot diverge between entry points.
+
+        ``jobs`` overrides the study-level worker count for this sweep
+        (``None`` inherits the study's setting).  The parallel path
+        shards uncached pairs across a process pool and merges worker
+        results deterministically, producing the byte-identical
+        :class:`ResultSet`, health report, and checkpoint bytes the
+        sequential path would have — see :mod:`repro.core.executor`.
         """
         chosen = tuple(benchmarks) if benchmarks is not None else self._benchmarks
         pairs = [
@@ -521,6 +598,24 @@ class Study:
                     if not self.is_cached(b, c) and not self.is_quarantined(b, c)
                 )
             )
+        workers = self._resolve_jobs(jobs)
+        if workers is not None:
+            pending: list[tuple[Benchmark, Configuration]] = []
+            seen: set[tuple[Benchmark, str]] = set()
+            for benchmark, config in pairs:
+                key = (benchmark, config.key)
+                if (
+                    key in self._cache
+                    or key in self._quarantine
+                    or key in seen
+                ):
+                    continue
+                seen.add(key)
+                pending.append((benchmark, config))
+            if pending:
+                chunks = self._dispatch_parallel(pending, workers)
+                if chunks is not None:
+                    return self._merge_parallel(pairs, pending, chunks)
         retries_0, remeasures_0, failures_0 = self._stats.snapshot()
         measured = cached = restored = 0
         quarantined: list[QuarantineEntry] = []
@@ -552,6 +647,154 @@ class Study:
                     cached += 1
             else:
                 measured += 1
+        retries_1, remeasures_1, failures_1 = self._stats.snapshot()
+        failures = {
+            name: count - failures_0.get(name, 0)
+            for name, count in failures_1.items()
+            if count - failures_0.get(name, 0) > 0
+        }
+        health = CampaignHealth(
+            attempted_pairs=len(pairs),
+            measured_pairs=measured,
+            cached_pairs=cached,
+            restored_pairs=restored,
+            retries=retries_1 - retries_0,
+            remeasured_outliers=remeasures_1 - remeasures_0,
+            failures=failures,
+            quarantined=tuple(quarantined),
+        )
+        return ResultSet(results, health=health)
+
+    # -- parallel sweeps -------------------------------------------------------
+
+    def _resolve_jobs(
+        self, override: Optional[Union[int, str]]
+    ) -> Optional[int]:
+        """Worker count for a sweep, or ``None`` for the in-process path.
+
+        ``"auto"`` (or 0) uses the CPU count and degrades to sequential
+        on a single-core machine; an explicit integer always takes the
+        pool path — even ``jobs=1``, which is how the equivalence tests
+        exercise the full dispatch/merge machinery."""
+        jobs = override if override is not None else self._jobs
+        if jobs is None:
+            return None
+        if jobs == "auto":
+            jobs = 0
+        jobs = int(jobs)
+        if jobs < 0:
+            raise ValueError(f"jobs must be >= 0 (0 = auto), got {jobs}")
+        if jobs == 0:
+            jobs = os.cpu_count() or 1
+            if jobs <= 1:
+                return None
+        return jobs
+
+    def _dispatch_parallel(
+        self,
+        pending: Sequence[tuple[Benchmark, Configuration]],
+        workers: int,
+    ):
+        """Shard ``pending`` across a worker pool; ``None`` if no pool
+        can be created (the caller falls back to the sequential loop)."""
+        from repro.core.executor import (
+            ExecutorUnavailable,
+            WorkerSetup,
+            run_pairs,
+        )
+
+        # Warm the references (and, through their probe runs, the
+        # engine's instruction calibration) in the parent so workers
+        # inherit both instead of re-deriving them per process.  The
+        # derivations are deterministic either way; warming just moves
+        # the cost out of the fan-out.
+        for benchmark in dict.fromkeys(b for b, _ in pending):
+            self._references.energy_joules(benchmark)
+        injector = _faults_active()
+        setup = WorkerSetup(
+            references=self._references,
+            calibration=self._engine.calibration_snapshot(),
+            invocation_scale=self._scale,
+            retry=self._retry,
+            instrument=self._instrument,
+            metrics_enabled=_metrics_enabled(),
+            fault_plan=injector.plan if injector is not None else None,
+        )
+        indexed = tuple(
+            (benchmark, config, index)
+            for index, (benchmark, config) in enumerate(pending)
+        )
+        try:
+            return run_pairs(
+                setup, indexed, jobs=workers, progress=self._progress
+            )
+        except ExecutorUnavailable:
+            return None
+
+    def _merge_parallel(
+        self,
+        pairs: Sequence[tuple[Benchmark, Configuration]],
+        pending: Sequence[tuple[Benchmark, Configuration]],
+        chunks,
+    ) -> ResultSet:
+        """Fold worker outcomes back in, reproducing the sequential path.
+
+        Worker metric deltas merge in chunk order; then the full pair
+        list replays in sweep order, so cache inserts, checkpoint
+        appends, failure-dict insertion order, hit/miss accounting, and
+        quarantine decisions all land exactly where the sequential loop
+        would have put them."""
+        retries_0, remeasures_0, failures_0 = self._stats.snapshot()
+        for chunk in chunks:
+            _REGISTRY.apply_snapshot(chunk.metrics_delta)
+        outcome_by_index = {
+            outcome.index: outcome
+            for chunk in chunks
+            for outcome in chunk.outcomes
+        }
+        pending_index = {
+            (benchmark, config.key): index
+            for index, (benchmark, config) in enumerate(pending)
+        }
+        measured = cached = restored = 0
+        quarantined: list[QuarantineEntry] = []
+        results: list[RunResult] = []
+        for benchmark, config in pairs:
+            key = (benchmark, config.key)
+            entry = self._quarantine.get(key)
+            if entry is not None:
+                quarantined.append(entry)
+                continue
+            cached_result = self._cache.get(key)
+            if cached_result is not None:
+                if self._instrument:
+                    _CACHE_HITS.inc()
+                results.append(cached_result)
+                if key in self._restored_keys:
+                    restored += 1
+                else:
+                    cached += 1
+                continue
+            outcome = outcome_by_index[pending_index[key]]
+            self._stats.retries += outcome.retries
+            self._stats.remeasures += outcome.remeasures
+            for name in outcome.failure_events:
+                self._stats.record_failure_name(name)
+            if outcome.result is not None:
+                self._cache[key] = outcome.result
+                self._checkpoint_append(outcome.result)
+                results.append(outcome.result)
+                measured += 1
+            else:
+                entry = QuarantineEntry(
+                    benchmark_name=benchmark.name,
+                    config_key=config.key,
+                    reason=outcome.failure or "worker failure",
+                )
+                self._quarantine[key] = entry
+                quarantined.append(entry)
+                if self._instrument:
+                    _QUARANTINED.inc()
         retries_1, remeasures_1, failures_1 = self._stats.snapshot()
         failures = {
             name: count - failures_0.get(name, 0)

@@ -76,6 +76,14 @@ _PHASES = _REGISTRY.counter(
 )
 _SERIAL_PHASES = _PHASES.labels(phase="serial")
 _PARALLEL_PHASES = _PHASES.labels(phase="parallel")
+_PLAN_CACHE_HITS = _REGISTRY.counter(
+    "repro_engine_plan_cache_hits_total",
+    "Measured executions answered from the execution-plan cache",
+)
+_PLAN_CACHE_MISSES = _REGISTRY.counter(
+    "repro_engine_plan_cache_misses_total",
+    "Execution plans built from scratch for measured runs",
+)
 
 
 @dataclass(frozen=True, slots=True)
@@ -89,6 +97,43 @@ class Phase:
     frequency: Hertz
     turbo: TurboState
     power: Watts
+
+
+@dataclass(frozen=True, slots=True)
+class _PhaseSkeleton:
+    """The noise-independent shape of one phase: everything except the
+    per-invocation noise scalars and the power they modulate."""
+
+    name: str
+    base_seconds: float
+    busy_cores: float
+    utilisation: float
+    turbo: TurboState
+    smt_factor: float
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionPlan:
+    """Deterministic skeleton of a (benchmark, configuration) run.
+
+    Everything upstream of the noise scalars — JVM service plan, thread
+    placement, per-phase CPI and throughput, turbo resolution, event
+    counts — is a pure function of the pair, so the engine computes it
+    once and replays it per invocation, applying only ``time_noise`` and
+    ``activity_noise``.  The stored factors are replayed in the exact
+    operation order of the unplanned path, so a planned execution is
+    bit-identical to an unplanned one.
+    """
+
+    benchmark: Benchmark
+    config: Configuration
+    phases: tuple[_PhaseSkeleton, ...]
+    base_seconds: float
+    events: EventCounts
+    jvm: Optional[JvmPlan]
+    activity_base: float
+    vendor_activity_factor: Optional[float]
+    vendor_performance_factor: Optional[float]
 
 
 @dataclass(frozen=True, slots=True)
@@ -137,6 +182,22 @@ class ExecutionEngine:
         self._jvm_vendor = jvm_vendor
         self._native_toolchain = native_toolchain
         self._instruction_cache: dict[Benchmark, float] = {}
+        self._plan_cache: dict[
+            tuple[Benchmark, Configuration, Optional[int]], ExecutionPlan
+        ] = {}
+
+    def __getstate__(self) -> dict:
+        """Pickle support for shipping the engine to pool workers.
+
+        The calibration table travels (it is a small dict of floats and
+        saves each worker four probe runs per benchmark); the plan cache
+        does not — it is bulky and cheap to rebuild per worker."""
+        state = self.__dict__.copy()
+        state["_plan_cache"] = {}
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
 
     # -- public API ----------------------------------------------------------
 
@@ -165,19 +226,31 @@ class ExecutionEngine:
                 f"{config.key}/{benchmark.name}/{invocation}"
             )
         _EXECUTIONS.inc()
-        instructions = self.instructions_for(benchmark)
         noise = self._noise(benchmark, config, invocation)
         power_noise = self._noise(
             benchmark, config, invocation, channel="power", scale=1.6
         )
-        warm = 1.0
-        if benchmark.managed:
-            warm = self._warmup.overhead_at(iteration or STEADY_STATE_ITERATION)
-        return self._raw_execute(
-            benchmark, config, instructions * warm,
-            time_noise=noise, activity_noise=power_noise,
-            vendor=self._jvm_vendor,
+        # ``iteration or STEADY_STATE_ITERATION`` (the falsy-zero default
+        # of the unplanned path) keys the cache for managed benchmarks;
+        # native benchmarks have no warm-up, so their key collapses.
+        effective_iteration = (
+            (iteration or STEADY_STATE_ITERATION) if benchmark.managed else None
         )
+        plan_key = (benchmark, config, effective_iteration)
+        plan = self._plan_cache.get(plan_key)
+        if plan is None:
+            _PLAN_CACHE_MISSES.inc()
+            instructions = self.instructions_for(benchmark)
+            warm = 1.0
+            if benchmark.managed:
+                warm = self._warmup.overhead_at(effective_iteration)
+            plan = self._plan_for(
+                benchmark, config, instructions * warm, vendor=self._jvm_vendor
+            )
+            self._plan_cache[plan_key] = plan
+        else:
+            _PLAN_CACHE_HITS.inc()
+        return self._run_plan(plan, time_noise=noise, activity_noise=power_noise)
 
     def ideal(self, benchmark: Benchmark, config: Configuration) -> Execution:
         """A noise-free steady-state run (the model's platonic output)."""
@@ -207,6 +280,17 @@ class ExecutionEngine:
         instructions = _PROBE_INSTRUCTIONS * benchmark.reference_seconds / mean_probe
         self._instruction_cache[benchmark] = instructions
         return instructions
+
+    def calibration_snapshot(self) -> dict[Benchmark, float]:
+        """The instruction-calibration table as a picklable mapping, for
+        preloading pool workers (each probe costs four reference runs)."""
+        return dict(self._instruction_cache)
+
+    def preload_calibration(self, snapshot: dict[Benchmark, float]) -> None:
+        """Adopt a :meth:`calibration_snapshot` wholesale (entries already
+        calibrated locally are kept: both derivations are deterministic)."""
+        for benchmark, instructions in snapshot.items():
+            self._instruction_cache.setdefault(benchmark, instructions)
 
     # -- internals -----------------------------------------------------------
 
@@ -255,13 +339,30 @@ class ExecutionEngine:
         activity_noise: float = 1.0,
         vendor: Optional[JvmVendor] = None,
     ) -> Execution:
+        """One uncached run: build the deterministic plan, apply noise.
+
+        Calibration probes and :meth:`ideal` come through here; measured
+        runs go via :meth:`execute`'s plan cache instead."""
+        plan = self._plan_for(benchmark, config, instructions, vendor)
+        return self._run_plan(plan, time_noise=time_noise, activity_noise=activity_noise)
+
+    def _plan_for(
+        self,
+        benchmark: Benchmark,
+        config: Configuration,
+        instructions: float,
+        vendor: Optional[JvmVendor] = None,
+    ) -> ExecutionPlan:
         character = benchmark.character
-        activity = character.activity * activity_noise
         # Vendor effects apply to measured runs but not to the work
-        # calibration (Table 1's reference times are HotSpot's).
+        # calibration (Table 1's reference times are HotSpot's).  They
+        # are stored as factors and replayed per invocation so the noisy
+        # arithmetic keeps its original operation order.
+        vendor_activity: Optional[float] = None
+        vendor_performance: Optional[float] = None
         if vendor is not None and benchmark.managed:
-            activity *= vendor.activity_factor
-            time_noise /= vendor.performance_factor(benchmark)
+            vendor_activity = vendor.activity_factor
+            vendor_performance = vendor.performance_factor(benchmark)
         toolchain = self._toolchain(benchmark)
 
         plan: Optional[JvmPlan] = None
@@ -286,7 +387,7 @@ class ExecutionEngine:
         placement = place_threads(threads, config)
         parallel_fraction = character.parallel_fraction if threads > 1 else 0.0
 
-        phases: list[Phase] = []
+        skeletons: list[_PhaseSkeleton] = []
         total_app_cycles = 0.0
         total_misses = 0.0
 
@@ -301,7 +402,6 @@ class ExecutionEngine:
             mpki_factor, sharing=1, threads=1, friction=friction,
         )
         if serial_instructions > 0:
-            _SERIAL_PHASES.inc()
             serial_rate = capped_throughput(
                 serial_turbo.frequency.value / serial_cpi.total,
                 serial_cpi.mpki,
@@ -312,10 +412,9 @@ class ExecutionEngine:
                 1.0 if plan is not None
                 and plan.placement is ServicePlacement.SMT_SIBLING else 0.0
             )
-            phases.append(
-                self._make_phase(
-                    "serial", seconds, serial_busy, serial_cpi, config,
-                    serial_turbo, activity,
+            skeletons.append(
+                self._make_skeleton(
+                    "serial", seconds, serial_busy, config, serial_turbo,
                     throughput=serial_rate,
                     smt_share=serial_smt_share,
                 )
@@ -325,7 +424,6 @@ class ExecutionEngine:
 
         # --- parallel phase across the placed threads.
         if parallel_fraction > 0.0:
-            _PARALLEL_PHASES.inc()
             parallel_instructions = instructions * parallel_fraction
             busy = placement.cores_used + self._service_cores(plan, config, placement)
             busy = min(busy, config.active_cores)
@@ -346,42 +444,78 @@ class ExecutionEngine:
             seconds = (
                 parallel_instructions / throughput
             ) * sync_inflation(platform_sync, placement.threads)
-            phases.append(
-                self._make_phase(
-                    "parallel", seconds, busy, par_cpi, config, turbo,
-                    activity, throughput=throughput,
+            skeletons.append(
+                self._make_skeleton(
+                    "parallel", seconds, busy, config, turbo,
+                    throughput=throughput,
                     smt_share=placement.smt_pairs / placement.cores_used,
                 )
             )
             total_app_cycles += parallel_instructions * par_cpi.total
             total_misses += parallel_instructions * par_cpi.mpki / 1000.0
 
-        total_seconds = sum(p.seconds for p in phases) * time_noise
-        scale = time_noise
-        phases = [
-            Phase(
-                name=p.name,
-                seconds=p.seconds * scale,
-                busy_cores=p.busy_cores,
-                utilisation=p.utilisation,
-                frequency=p.frequency,
-                turbo=p.turbo,
-                power=p.power,
-            )
-            for p in phases
-        ]
-
         events = self._events(
             benchmark, instructions, serial_service + overlapped_service,
             total_app_cycles, total_misses, mpki_factor,
         )
-        return Execution(
+        return ExecutionPlan(
             benchmark=benchmark,
             config=config,
-            seconds=Seconds(total_seconds),
-            phases=tuple(phases),
+            phases=tuple(skeletons),
+            base_seconds=sum(s.base_seconds for s in skeletons),
             events=events,
             jvm=plan,
+            activity_base=character.activity,
+            vendor_activity_factor=vendor_activity,
+            vendor_performance_factor=vendor_performance,
+        )
+
+    def _run_plan(
+        self, plan: ExecutionPlan, time_noise: float, activity_noise: float
+    ) -> Execution:
+        """Apply one invocation's noise scalars to a cached plan.
+
+        The arithmetic replays the unplanned path's exact operation order
+        (activity times noise, then the vendor factor; base seconds times
+        the vendor-adjusted time noise), so planned and unplanned runs are
+        bit-identical."""
+        activity = plan.activity_base * activity_noise
+        if plan.vendor_activity_factor is not None:
+            activity *= plan.vendor_activity_factor
+        if plan.vendor_performance_factor is not None:
+            time_noise /= plan.vendor_performance_factor
+        config = plan.config
+        phases: list[Phase] = []
+        for skeleton in plan.phases:
+            if skeleton.name == "serial":
+                _SERIAL_PHASES.inc()
+            else:
+                _PARALLEL_PHASES.inc()
+            power = package_power(
+                config,
+                busy_cores=min(skeleton.busy_cores, config.active_cores),
+                core_utilisation=skeleton.utilisation,
+                activity=activity * skeleton.smt_factor,
+                turbo=skeleton.turbo,
+            )
+            phases.append(
+                Phase(
+                    name=skeleton.name,
+                    seconds=skeleton.base_seconds * time_noise,
+                    busy_cores=skeleton.busy_cores,
+                    utilisation=skeleton.utilisation,
+                    frequency=skeleton.turbo.frequency,
+                    turbo=skeleton.turbo,
+                    power=power.total,
+                )
+            )
+        return Execution(
+            benchmark=plan.benchmark,
+            config=config,
+            seconds=Seconds(plan.base_seconds * time_noise),
+            phases=tuple(phases),
+            events=plan.events,
+            jvm=plan.jvm,
         )
 
     def _phase_cpi(
@@ -435,36 +569,26 @@ class ExecutionEngine:
         occupancy = 0.30 + 12.0 * plan.overlapped_service
         return min(occupancy, float(spare))
 
-    def _make_phase(
+    def _make_skeleton(
         self,
         name: str,
         seconds: float,
         busy_cores: float,
-        breakdown: CpiBreakdown,
         config: Configuration,
         turbo: TurboState,
-        activity: float,
         throughput: float,
         smt_share: float = 0.0,
-    ) -> Phase:
+    ) -> _PhaseSkeleton:
         peak_ips = busy_cores * turbo.frequency.value * config.spec.family.issue_width
         utilisation = min(throughput / peak_ips, 1.0) if peak_ips > 0 else 0.0
         smt_factor = 1.0 + config.spec.family.smt_power_overhead * smt_share
-        power = package_power(
-            config,
-            busy_cores=min(busy_cores, config.active_cores),
-            core_utilisation=utilisation,
-            activity=activity * smt_factor,
-            turbo=turbo,
-        )
-        return Phase(
+        return _PhaseSkeleton(
             name=name,
-            seconds=seconds,
+            base_seconds=seconds,
             busy_cores=busy_cores,
             utilisation=utilisation,
-            frequency=turbo.frequency,
             turbo=turbo,
-            power=power.total,
+            smt_factor=smt_factor,
         )
 
     def _events(

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from bisect import bisect_right
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
@@ -30,6 +31,12 @@ class PowerTrace:
             raise ValueError("boundaries and levels must align")
         if not self.boundaries:
             raise ValueError("a trace needs at least one piece")
+
+    @cached_property
+    def peak(self) -> float:
+        """Highest true power level of the run (watts), computed once —
+        the meter's saturation guard compares against it per measurement."""
+        return float(max(self.levels))
 
     def power_at(self, t: float) -> Watts:
         """True power at time ``t`` (clamped to the run's duration)."""

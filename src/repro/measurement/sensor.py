@@ -12,6 +12,7 @@ error ("the fidelity of the quantization (103 points)").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -88,6 +89,41 @@ class HallEffectSensor:
         full_scale_volts = self.mv_per_amp / 1000.0 * self.range_amps
         noise = rng.normal(0.0, self.noise_fraction * full_scale_volts,
                            size=len(currents))
+        clipped = np.clip(currents, -self.range_amps, self.range_amps)
+        slope = self.mv_per_amp / 1000.0 * (1.0 + self._gain_error)
+        volts = ZERO_CURRENT_VOLTS + self._offset_volts + slope * clipped + noise
+        volts = np.clip(volts, 0.0, ADC_FULL_SCALE_VOLTS)
+        codes = np.rint(volts / ADC_FULL_SCALE_VOLTS * ADC_COUNTS).astype(int)
+        return np.clip(codes, 0, ADC_COUNTS - 1)
+
+    def read_codes_batch(
+        self, segments: "Sequence[np.ndarray]", seed_salts: "Sequence[str]"
+    ) -> np.ndarray:
+        """Digitised codes for several runs' currents in one vectorised
+        transfer, returned concatenated in segment order.
+
+        The noise stream is still drawn *per salt* — each segment's draws
+        are exactly what :meth:`read_codes` would have drawn for it — and
+        every transfer step (clip, affine transfer, clip, round, clip) is
+        an elementwise ufunc, so each output element is bit-identical to
+        the per-run path; only the Python/numpy dispatch overhead is
+        amortised across the batch.
+        """
+        if len(segments) != len(seed_salts):
+            raise ValueError("segments and seed salts must align")
+        full_scale_volts = self.mv_per_amp / 1000.0 * self.range_amps
+        sigma = self.noise_fraction * full_scale_volts
+        noise = np.concatenate(
+            [
+                rng_for(run_key("sensor-read", self.sensor_key, salt)).normal(
+                    0.0, sigma, size=len(segment)
+                )
+                for segment, salt in zip(segments, seed_salts)
+            ]
+        )
+        currents = np.concatenate(
+            [np.asarray(segment, dtype=float) for segment in segments]
+        )
         clipped = np.clip(currents, -self.range_amps, self.range_amps)
         slope = self.mv_per_amp / 1000.0 * (1.0 + self._gain_error)
         volts = ZERO_CURRENT_VOLTS + self._offset_volts + slope * clipped + noise

@@ -58,6 +58,13 @@ def _label_key(labels: Mapping[str, str]) -> tuple[tuple[str, str], ...]:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+#: Picklable per-instrument state: ``{"kind", "value" | ("counts", "sum",
+#: "count", "buckets"), "children": {label_key: ...}}`` — the wire format
+#: pool workers ship their telemetry deltas home in.
+InstrumentSnapshot = dict
+RegistrySnapshot = dict
+
+
 class _Instrument:
     """Shared plumbing: identity, lock, and labelled children."""
 
@@ -103,6 +110,36 @@ class _Instrument:
     def reset(self) -> None:
         raise NotImplementedError
 
+    # -- cross-process merging ----------------------------------------------
+
+    def _state(self) -> dict:
+        raise NotImplementedError
+
+    def _apply(self, state: Mapping) -> None:
+        raise NotImplementedError
+
+    def snapshot(self) -> InstrumentSnapshot:
+        """This instrument's state (and its children's) as picklable
+        plain dicts — what a pool worker ships home."""
+        snap: InstrumentSnapshot = {"kind": self.kind, **self._state()}
+        if self._children:
+            snap["children"] = {
+                key: child.snapshot() for key, child in self._children.items()
+            }
+        return snap
+
+    def apply_snapshot(self, snap: Mapping) -> None:
+        """Merge a snapshot (usually a delta) additively into this
+        instrument, creating labelled children as needed."""
+        kind = snap.get("kind", self.kind)
+        if kind != self.kind:
+            raise TypeError(
+                f"cannot merge a {kind} snapshot into {self.kind} {self.name!r}"
+            )
+        self._apply(snap)
+        for key, child_snap in snap.get("children", {}).items():
+            self.labels(**dict(key)).apply_snapshot(child_snap)
+
 
 class Counter(_Instrument):
     """A monotonically increasing count."""
@@ -131,6 +168,12 @@ class Counter(_Instrument):
         self._value = 0.0
         for child in self._children.values():
             child.reset()
+
+    def _state(self) -> dict:
+        return {"value": self._value}
+
+    def _apply(self, state: Mapping) -> None:
+        self._value += state.get("value", 0.0)
 
 
 class Gauge(_Instrument):
@@ -166,6 +209,14 @@ class Gauge(_Instrument):
         self._value = 0.0
         for child in self._children.values():
             child.reset()
+
+    def _state(self) -> dict:
+        return {"value": self._value}
+
+    def _apply(self, state: Mapping) -> None:
+        # A gauge delta merges additively, like a counter: the parent's
+        # reading becomes its own value plus the worker's movement.
+        self._value += state.get("value", 0.0)
 
 
 class Histogram(_Instrument):
@@ -236,6 +287,27 @@ class Histogram(_Instrument):
         self._count = 0
         for child in self._children.values():
             child.reset()
+
+    def _state(self) -> dict:
+        return {
+            "counts": list(self._counts),
+            "sum": self._sum,
+            "count": self._count,
+            "buckets": list(self.buckets),
+        }
+
+    def _apply(self, state: Mapping) -> None:
+        counts = state.get("counts")
+        if counts is not None:
+            if len(counts) != len(self._counts):
+                raise ValueError(
+                    f"histogram {self.name!r}: cannot merge {len(counts)} "
+                    f"bucket counts into {len(self._counts)}"
+                )
+            for index, n in enumerate(counts):
+                self._counts[index] += n
+        self._sum += state.get("sum", 0.0)
+        self._count += state.get("count", 0)
 
 
 class Timer:
@@ -320,8 +392,76 @@ class MetricsRegistry:
         for metric in self._metrics.values():
             metric.reset()
 
+    def snapshot(self) -> RegistrySnapshot:
+        """Every instrument's state as picklable plain dicts.
+
+        Pool workers snapshot before and after a chunk of work; the
+        parent merges ``snapshot_delta(after, before)`` so that only the
+        chunk's own movement lands in the parent registry."""
+        return {name: inst.snapshot() for name, inst in self._metrics.items()}
+
+    def apply_snapshot(self, snap: RegistrySnapshot) -> None:
+        """Merge a snapshot (usually a delta) additively, creating any
+        instruments and labelled children this registry has not seen."""
+        for name, inst_snap in snap.items():
+            kind = inst_snap.get("kind", "counter")
+            inst = self._metrics.get(name)
+            if inst is None:
+                if kind == "histogram":
+                    inst = self.histogram(
+                        name, buckets=inst_snap.get("buckets") or DEFAULT_BUCKETS
+                    )
+                elif kind == "gauge":
+                    inst = self.gauge(name)
+                else:
+                    inst = self.counter(name)
+            inst.apply_snapshot(inst_snap)
+
     def __iter__(self) -> Iterator[_Instrument]:
         return iter(self.collect())
+
+
+def _diff_instrument(
+    after: Mapping, before: Optional[Mapping]
+) -> InstrumentSnapshot:
+    if before is None:
+        return dict(after)
+    out: InstrumentSnapshot = {"kind": after.get("kind", "counter")}
+    if out["kind"] == "histogram":
+        before_counts = before.get("counts", [])
+        out["counts"] = [
+            n - (before_counts[i] if i < len(before_counts) else 0)
+            for i, n in enumerate(after.get("counts", []))
+        ]
+        out["sum"] = after.get("sum", 0.0) - before.get("sum", 0.0)
+        out["count"] = after.get("count", 0) - before.get("count", 0)
+        out["buckets"] = after.get("buckets")
+    else:
+        out["value"] = after.get("value", 0.0) - before.get("value", 0.0)
+    after_children = after.get("children")
+    if after_children:
+        before_children = before.get("children", {})
+        out["children"] = {
+            key: _diff_instrument(child, before_children.get(key))
+            for key, child in after_children.items()
+        }
+    return out
+
+
+def snapshot_delta(
+    after: RegistrySnapshot, before: RegistrySnapshot
+) -> RegistrySnapshot:
+    """Element-wise ``after - before`` of two registry snapshots.
+
+    Instruments (or labelled children) absent from ``before`` contribute
+    their full ``after`` state.  Counter and histogram deltas are exact:
+    every recorded amount is integer-valued or summed identically on both
+    sides, so merging deltas in any grouping reproduces the same totals.
+    """
+    return {
+        name: _diff_instrument(snap, before.get(name))
+        for name, snap in after.items()
+    }
 
 
 _DEFAULT_REGISTRY = MetricsRegistry()

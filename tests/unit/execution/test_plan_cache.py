@@ -1,0 +1,115 @@
+"""Unit tests for the engine's execution-plan cache.
+
+The cache memoises the deterministic skeleton of a (benchmark,
+configuration, iteration) execution; only the per-invocation noise
+scalars are applied on replay.  Its contract is bit-identity: a replayed
+execution must equal — float for float — the one a cold engine builds
+from scratch, or the goldens (and the parallel executor's byte-identity
+guarantee) silently drift.
+"""
+
+import pickle
+
+from repro.execution.engine import ExecutionEngine
+from repro.faults.injector import injected
+from repro.faults.plan import FaultPlan
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.obs.metrics import default_registry
+from repro.workloads.catalog import benchmark
+
+CLEAN = FaultPlan()
+
+
+def _phase_tuple(execution):
+    return [
+        (
+            p.name,
+            p.seconds,
+            p.busy_cores,
+            p.utilisation,
+            p.frequency,
+            p.turbo,
+            p.power,
+        )
+        for p in execution.phases
+    ]
+
+
+def _assert_bit_identical(a, b):
+    assert b.seconds.value == a.seconds.value
+    assert _phase_tuple(b) == _phase_tuple(a)
+    assert b.events == a.events
+
+
+class TestPlanCacheBitIdentity:
+    def test_replay_matches_cold_engine_managed(self):
+        """A managed benchmark (JVM plan, warm-up curve) replayed from the
+        plan cache equals a cold engine's from-scratch execution."""
+        bench = benchmark("eclipse")
+        config = stock(CORE_I7_45)
+        with injected(CLEAN):
+            warm = ExecutionEngine()
+            first = warm.execute(bench, config, invocation=2)
+            replay = warm.execute(bench, config, invocation=2)
+            cold = ExecutionEngine().execute(bench, config, invocation=2)
+        _assert_bit_identical(first, replay)
+        _assert_bit_identical(first, cold)
+
+    def test_replay_matches_cold_engine_native(self):
+        bench = benchmark("mcf")
+        config = stock(ATOM_45)
+        with injected(CLEAN):
+            warm = ExecutionEngine()
+            first = warm.execute(bench, config, invocation=0)
+            replay = warm.execute(bench, config, invocation=0)
+            cold = ExecutionEngine().execute(bench, config, invocation=0)
+        _assert_bit_identical(first, replay)
+        _assert_bit_identical(first, cold)
+
+    def test_invocations_share_a_plan_but_not_noise(self):
+        """Different invocations replay the same skeleton with different
+        noise: one miss, then hits, and distinct measured values."""
+        registry = default_registry()
+        hits = registry.get("repro_engine_plan_cache_hits_total")
+        misses = registry.get("repro_engine_plan_cache_misses_total")
+        bench = benchmark("db")
+        config = stock(CORE_I7_45)
+        with injected(CLEAN):
+            engine = ExecutionEngine()
+            engine.instructions_for(bench)  # calibrate outside the window
+            hits_0, misses_0 = hits.value, misses.value
+            runs = [
+                engine.execute(bench, config, invocation=i) for i in range(4)
+            ]
+        assert misses.value - misses_0 == 1
+        assert hits.value - hits_0 == 3
+        assert len({run.seconds.value for run in runs}) == len(runs)
+
+
+class TestEnginePickling:
+    def test_calibration_travels_but_plans_rebuild(self):
+        bench = benchmark("lusearch")
+        config = stock(ATOM_45)
+        with injected(CLEAN):
+            parent = ExecutionEngine()
+            expected = parent.execute(bench, config, invocation=1)
+            worker = pickle.loads(pickle.dumps(parent))
+            assert worker.calibration_snapshot() == parent.calibration_snapshot()
+            assert worker._plan_cache == {}
+            _assert_bit_identical(expected, worker.execute(
+                bench, config, invocation=1
+            ))
+
+    def test_preload_calibration_skips_probe_runs(self):
+        registry = default_registry()
+        probes = registry.get("repro_engine_calibration_probes_total")
+        bench = benchmark("mcf")
+        with injected(CLEAN):
+            donor = ExecutionEngine()
+            expected = donor.instructions_for(bench)
+            fresh = ExecutionEngine()
+            fresh.preload_calibration(donor.calibration_snapshot())
+            probes_0 = probes.value
+            assert fresh.instructions_for(bench) == expected
+        assert probes.value == probes_0

@@ -1,0 +1,88 @@
+"""Unit tests for the vectorised meter path.
+
+``PowerMeter.measure_batch`` pushes every invocation of a pair through
+the logger/sensor pipeline in one numpy pass.  Its contract is the same
+bit-identity the plan cache promises: each batched measurement must
+equal the standalone ``measure`` call float for float — the batch is a
+layout change, not an approximation.
+"""
+
+import pytest
+
+from repro.execution.engine import ExecutionEngine
+from repro.faults.injector import injected
+from repro.faults.plan import FaultPlan
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.measurement.meter import PowerMeter
+
+CLEAN = FaultPlan()
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ExecutionEngine()
+
+
+def _runs(engine, spec, names=("mcf", "db"), invocations=3):
+    """A small mixed batch: several invocations of several benchmarks."""
+    from repro.workloads.catalog import benchmark
+
+    executions, salts = [], []
+    config = stock(spec)
+    with injected(CLEAN):
+        for name in names:
+            bench = benchmark(name)
+            for index in range(invocations):
+                executions.append(
+                    engine.execute(bench, config, invocation=index)
+                )
+                salts.append(f"{config.key}/{name}/{index}")
+    return executions, salts
+
+
+class TestBatchBitIdentity:
+    @pytest.mark.parametrize("spec", (CORE_I7_45, ATOM_45), ids=lambda s: s.key)
+    def test_batch_equals_standalone_measures(self, engine, spec):
+        executions, salts = _runs(engine, spec)
+        meter = PowerMeter(spec)
+        with injected(CLEAN):
+            standalone = [
+                meter.measure(execution, run_salt=salt)
+                for execution, salt in zip(executions, salts)
+            ]
+            batched = meter.measure_batch(executions, salts)
+        assert [m.average_watts for m in batched] == [
+            m.average_watts for m in standalone
+        ]
+        assert [m.sample_count for m in batched] == [
+            m.sample_count for m in standalone
+        ]
+        assert [m.seconds for m in batched] == [m.seconds for m in standalone]
+
+    def test_fault_injector_degrades_batch_to_per_run(self, engine):
+        """Any armed plan — even an empty one — takes the per-run path
+        (faults are per-invocation decisions), with identical results."""
+        executions, salts = _runs(engine, ATOM_45, names=("mcf",))
+        meter = PowerMeter(ATOM_45)
+        with injected(CLEAN):
+            clean = meter.measure_batch(executions, salts)
+        with injected(FaultPlan()):
+            armed = meter.measure_batch(executions, salts)
+        assert [m.average_watts for m in armed] == [
+            m.average_watts for m in clean
+        ]
+
+
+class TestBatchValidation:
+    def test_misaligned_salts_rejected(self, engine):
+        executions, salts = _runs(engine, ATOM_45, names=("mcf",))
+        meter = PowerMeter(ATOM_45)
+        with pytest.raises(ValueError, match="align"):
+            meter.measure_batch(executions, salts[:-1])
+
+    def test_foreign_machine_rejected(self, engine):
+        executions, salts = _runs(engine, CORE_I7_45, names=("mcf",))
+        meter = PowerMeter(ATOM_45)
+        with injected(CLEAN), pytest.raises(ValueError, match="attached"):
+            meter.measure_batch(executions, salts)

@@ -1,0 +1,110 @@
+"""Unit tests for metrics snapshots, deltas, and cross-process merging.
+
+Pool workers snapshot their registry before and after a chunk of work,
+ship ``snapshot_delta(after, before)`` home, and the parent merges the
+deltas with ``apply_snapshot``.  These tests pin the algebra that makes
+the parallel sweep's telemetry equal the sequential sweep's: deltas are
+exact, merging is additive, and unseen instruments or labelled children
+materialise on the receiving side.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, snapshot_delta
+
+
+@pytest.fixture
+def registry() -> MetricsRegistry:
+    return MetricsRegistry()
+
+
+class TestInstrumentSnapshots:
+    def test_counter_roundtrip_with_children(self, registry):
+        c = registry.counter("ops_total")
+        c.inc(3)
+        c.labels(kind="read").inc(2)
+        other = MetricsRegistry().counter("ops_total")
+        other.apply_snapshot(c.snapshot())
+        assert other.value == 3.0
+        assert other.labels(kind="read").value == 2.0
+
+    def test_kind_mismatch_raises(self, registry):
+        c = registry.counter("thing_total")
+        g = MetricsRegistry().gauge("thing_total_gauge")
+        with pytest.raises(TypeError):
+            g.apply_snapshot(c.snapshot())
+
+    def test_histogram_bucket_mismatch_raises(self, registry):
+        h = registry.histogram("lat_seconds", buckets=(0.1, 1.0))
+        foreign = MetricsRegistry().histogram("lat_seconds", buckets=(0.5,))
+        with pytest.raises(ValueError):
+            foreign.apply_snapshot(h.snapshot())
+
+
+class TestSnapshotDelta:
+    def test_delta_isolates_the_bracketed_work(self, registry):
+        c = registry.counter("hits_total")
+        h = registry.histogram("lat_seconds", buckets=(1.0,))
+        c.inc(5)
+        h.observe(0.5)
+        before = registry.snapshot()
+        c.inc(2)
+        h.observe(2.0)
+        delta = snapshot_delta(registry.snapshot(), before)
+        assert delta["hits_total"]["value"] == 2.0
+        assert delta["lat_seconds"]["count"] == 1
+        assert delta["lat_seconds"]["sum"] == 2.0
+        assert delta["lat_seconds"]["counts"] == [0, 1]  # the +Inf slot
+
+    def test_new_children_carry_full_state(self, registry):
+        c = registry.counter("ops_total")
+        c.labels(kind="read").inc(1)
+        before = registry.snapshot()
+        c.labels(kind="read").inc(1)
+        c.labels(kind="write").inc(4)  # born inside the bracket
+        delta = snapshot_delta(registry.snapshot(), before)
+        children = delta["ops_total"]["children"]
+        assert children[(("kind", "read"),)]["value"] == 1.0
+        assert children[(("kind", "write"),)]["value"] == 4.0
+
+
+class TestRegistryMerge:
+    def test_worker_deltas_merge_additively(self, registry):
+        """Two worker chunks' deltas folded into a parent registry give
+        the totals the parent would have recorded doing the work itself."""
+        parent = registry
+        parent.counter("invocations_total").inc(10)
+
+        deltas = []
+        for chunk in range(2):
+            worker = MetricsRegistry()
+            c = worker.counter("invocations_total")
+            h = worker.histogram("measure_seconds", buckets=(1.0,))
+            before = worker.snapshot()
+            c.inc(3)
+            c.labels(machine="atom_45").inc(chunk + 1)
+            h.observe(0.25)
+            deltas.append(snapshot_delta(worker.snapshot(), before))
+
+        for delta in deltas:
+            parent.apply_snapshot(delta)
+        assert parent.counter("invocations_total").value == 16.0
+        assert (
+            parent.counter("invocations_total").labels(machine="atom_45").value
+            == 3.0
+        )
+        merged = parent.get("measure_seconds")
+        assert merged.count == 2
+        assert merged.sum == 0.5
+
+    def test_apply_creates_missing_instruments(self, registry):
+        worker = MetricsRegistry()
+        worker.counter("only_in_worker_total").inc(7)
+        worker.histogram("only_in_worker_seconds", buckets=(0.5, 2.0)).observe(1.0)
+        worker.gauge("only_in_worker_value").set(3.0)
+        registry.apply_snapshot(worker.snapshot())
+        assert registry.get("only_in_worker_total").value == 7.0
+        hist = registry.get("only_in_worker_seconds")
+        assert hist.buckets == (0.5, 2.0)
+        assert hist.count == 1
+        assert registry.get("only_in_worker_value").value == 3.0
