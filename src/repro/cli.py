@@ -9,7 +9,9 @@ Commands:
 * ``findings`` — evaluate the thirteen findings;
 * ``dataset <out.csv> [--configs stock|45nm|all]`` — export the run dataset;
 * ``figure <fig2|fig3|fig7c|fig11|fig12>`` — draw a character figure;
-* ``stats`` — run a small sweep and print the telemetry summary table.
+* ``stats`` — run a small sweep and print the telemetry summary table;
+* ``serve [--host H --port P --store DB ...]`` — run the measurement
+  campaign as an HTTP service (see docs/service.md).
 
 Global telemetry flags (before the command):
 
@@ -29,6 +31,14 @@ Robustness flags on ``measure`` and ``dataset`` (see docs/robustness.md):
 * ``--resume PATH`` — preload a checkpoint before running (commonly the
   same path as ``--checkpoint``, so a killed campaign picks up where it
   stopped).
+
+``--checkpoint`` also writes a ``<path>.meta`` sidecar recording the run
+fingerprint (root seed, invocation scale, fault plan); ``--resume``
+refuses a checkpoint whose sidecar mismatches the current run (exit
+code 4) instead of silently mixing incompatible datasets.
+
+Exit codes: 0 success, 2 usage error, 3 measurement failed, 4 resume /
+store fingerprint mismatch.
 """
 
 from __future__ import annotations
@@ -38,7 +48,13 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
-from repro.core.study import Study
+from repro.core.study import (
+    Study,
+    fingerprint_mismatch,
+    read_checkpoint_meta,
+    run_fingerprint,
+    write_checkpoint_meta,
+)
 from repro.experiments.findings import evaluate_all
 from repro.faults.errors import MeasurementError
 from repro.faults.injector import install as install_faults, uninstall as uninstall_faults
@@ -163,6 +179,66 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run a small demonstration sweep and print the telemetry "
         "summary table",
     )
+
+    serve_cmd = commands.add_parser(
+        "serve", help="run the campaign as an HTTP measurement service"
+    )
+    serve_cmd.add_argument("--host", default="127.0.0.1")
+    serve_cmd.add_argument(
+        "--port",
+        type=int,
+        default=8080,
+        help="listen port (0 picks an ephemeral port and prints it)",
+    )
+    serve_cmd.add_argument(
+        "--store",
+        metavar="PATH.sqlite",
+        default=None,
+        help="SQLite result store; warm-starts the cache across restarts "
+        "(default: in-memory, lost on exit)",
+    )
+    serve_cmd.add_argument(
+        "--queue-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="in-flight job bound before requests get 429 (default 64)",
+    )
+    serve_cmd.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help="per-client measure requests per second (default: unlimited)",
+    )
+    serve_cmd.add_argument(
+        "--burst",
+        type=float,
+        default=5.0,
+        metavar="B",
+        help="per-client burst allowance when --rate is set (default 5)",
+    )
+    serve_cmd.add_argument(
+        "--cache-cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="LRU-bound the in-memory result cache to N pairs "
+        "(default: unbounded; the store still holds everything)",
+    )
+    serve_cmd.add_argument(
+        "--inject",
+        metavar="PLAN",
+        default=None,
+        help="arm a server-wide fault plan: 'demo', 'ci', or a JSON path",
+    )
+    serve_cmd.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="retries per invocation before quarantine (default 3)",
+    )
     return parser
 
 
@@ -263,6 +339,41 @@ def _dataset(args: argparse.Namespace, study: Study) -> str:
     return "\n".join(lines)
 
 
+def _serve(
+    args: argparse.Namespace,
+    study: Study,
+    jobs: Optional[int | str],
+    fingerprint: dict[str, object],
+) -> int:
+    # Imported here so the plain CLI never pays for the service stack.
+    from repro.service.server import CampaignServer, serve
+    from repro.service.store import StoreError
+
+    try:
+        server = CampaignServer(
+            study=study,
+            host=args.host,
+            port=args.port,
+            store=args.store,
+            fingerprint=fingerprint,
+            max_pending=args.queue_depth,
+            jobs=jobs,
+            rate=args.rate,
+            burst=args.burst,
+        )
+    except (ValueError, StoreError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        serve(server)
+    except StoreError as exc:
+        # The store was written by a run with different parameters —
+        # same class of mismatch as a stale --resume checkpoint.
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     tracer = default_tracer()
@@ -278,11 +389,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         tracer.enable()
     progress = ProgressReporter(stream=sys.stderr) if args.progress else None
 
-    # Robustness options exist only on measure/dataset; default elsewhere.
+    # Robustness options exist only on measure/dataset/serve; default
+    # elsewhere.
     inject = getattr(args, "inject", None)
     max_retries = getattr(args, "max_retries", None)
     checkpoint = getattr(args, "checkpoint", None)
     resume = getattr(args, "resume", None)
+    plan = None
+    if inject is not None:
+        try:
+            plan = plan_from_arg(inject)
+        except (OSError, ValueError) as exc:
+            print(f"error: --inject: {exc}", file=sys.stderr)
+            return 2
+    scale = 0.2 if args.quick else 1.0
+    fingerprint = run_fingerprint(invocation_scale=scale, plan=plan)
     if checkpoint is not None:
         parent = Path(checkpoint).resolve().parent
         if not parent.is_dir():
@@ -312,16 +433,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print("error: --jobs cannot be negative", file=sys.stderr)
             return 2
     study = Study(
-        invocation_scale=0.2 if args.quick else 1.0,
+        invocation_scale=scale,
         progress=progress,
         retry=RetryPolicy(max_retries=max_retries)
         if max_retries is not None
         else None,
         checkpoint_path=checkpoint,
         jobs=jobs,
+        cache_capacity=getattr(args, "cache_cap", None),
+        # The server reuses its worker pool across request batches.
+        reuse_pool=args.command == "serve",
     )
     if resume is not None:
         if Path(resume).exists():
+            saved = read_checkpoint_meta(resume)
+            mismatch = (
+                fingerprint_mismatch(saved, fingerprint)
+                if saved is not None
+                else None  # pre-sidecar checkpoints resume unchecked
+            )
+            if mismatch is not None:
+                print(
+                    f"error: --resume checkpoint is from a different run "
+                    f"({mismatch})",
+                    file=sys.stderr,
+                )
+                print(
+                    "hint: re-run with the flags that wrote it (same "
+                    "--quick/--inject) or start a fresh --checkpoint",
+                    file=sys.stderr,
+                )
+                return 4
             restored = study.restore_checkpoint(resume)
             print(f"resumed {restored} results from {resume}", file=sys.stderr)
         elif resume != checkpoint:
@@ -329,12 +471,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             # cold start (first run of a resumable campaign), not an error.
             print(f"error: --resume file does not exist: {resume}", file=sys.stderr)
             return 2
-    if inject is not None:
-        try:
-            install_faults(plan_from_arg(inject))
-        except (OSError, ValueError) as exc:
-            print(f"error: --inject: {exc}", file=sys.stderr)
-            return 2
+    if checkpoint is not None:
+        # Stamp the sidecar up front so even an interrupted first run
+        # leaves a checkpoint that --resume can validate.
+        write_checkpoint_meta(checkpoint, fingerprint)
+    if plan is not None:
+        install_faults(plan)
 
     try:
         if args.command == "list":
@@ -358,6 +500,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(renderer(study))
         elif args.command == "stats":
             print(_stats(study))
+        elif args.command == "serve":
+            code = _serve(args, study, jobs, fingerprint)
+            if code != 0:
+                return code
     except MeasurementError as exc:
         # A single quarantined pair fails `measure` outright; sweeps
         # (`dataset`) absorb failures into CampaignHealth instead.

@@ -190,11 +190,60 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+class SweepPool:
+    """A keep-alive worker pool for long-lived processes.
+
+    A one-shot sweep builds its pool, measures, and tears it down; the
+    campaign server instead dispatches many small batches over hours, so
+    it keeps one pool warm (:class:`~repro.core.study.Study` with
+    ``reuse_pool=True``) and amortises worker start-up across batches.
+
+    The pool is bound to the :class:`WorkerSetup` its workers were
+    initialised with.  :meth:`compatible_with` gates reuse on the fields
+    that affect result bytes — scale, retry policy, instrumentation, and
+    the armed fault plan; the calibration snapshot is only a warm-start
+    hint (workers re-derive missing entries deterministically), so a
+    grown snapshot does not force a new pool.
+    """
+
+    def __init__(self, setup: WorkerSetup, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.setup = setup
+        self.workers = workers
+        try:
+            self.executor = ProcessPoolExecutor(
+                max_workers=workers,
+                mp_context=_pool_context(),
+                initializer=_init_worker,
+                initargs=(setup,),
+            )
+        except (OSError, ValueError, PermissionError) as exc:
+            raise ExecutorUnavailable(
+                f"cannot create worker pool: {exc}"
+            ) from exc
+
+    def compatible_with(self, setup: WorkerSetup) -> bool:
+        mine = self.setup
+        return (
+            mine.references is setup.references
+            and mine.invocation_scale == setup.invocation_scale
+            and mine.retry == setup.retry
+            and mine.instrument == setup.instrument
+            and mine.metrics_enabled == setup.metrics_enabled
+            and mine.fault_plan == setup.fault_plan
+        )
+
+    def close(self) -> None:
+        self.executor.shutdown(wait=True, cancel_futures=True)
+
+
 def run_pairs(
     setup: WorkerSetup,
     pending: Sequence[tuple[Benchmark, Configuration, int]],
     jobs: int,
     progress=None,
+    pool: Optional[SweepPool] = None,
 ) -> list[ChunkResult]:
     """Measure ``pending`` pairs across ``jobs`` worker processes.
 
@@ -204,42 +253,40 @@ def run_pairs(
     environments without process spawning) or if the pool breaks
     mid-sweep; the caller falls back to the sequential path, which is
     safe because nothing is merged until every chunk has returned.
+
+    ``pool`` reuses a caller-owned :class:`SweepPool` instead of building
+    (and tearing down) a fresh one; the caller keeps ownership — on
+    :class:`ExecutorUnavailable` it should close and drop the pool.
     """
     if jobs < 1:
         raise ValueError(f"need at least one worker, got {jobs}")
-    workers = min(jobs, len(pending)) or 1
+    owned = pool is None
+    if owned:
+        pool = SweepPool(setup, min(jobs, len(pending)) or 1)
+    workers = min(pool.workers, len(pending)) or 1
     chunk_count = min(len(pending), workers * CHUNKS_PER_WORKER)
     # Round-robin deal: neighbouring pairs usually share a benchmark (the
     # inner loop of the sweep), so striding spreads each benchmark's
     # protocol cost evenly across chunks.
     chunks = [tuple(pending[i::chunk_count]) for i in range(chunk_count)]
-    try:
-        pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=_pool_context(),
-            initializer=_init_worker,
-            initargs=(setup,),
-        )
-    except (OSError, ValueError, PermissionError) as exc:
-        raise ExecutorUnavailable(f"cannot create worker pool: {exc}") from exc
     results: list[ChunkResult] = []
     try:
-        with pool:
-            futures = [
-                pool.submit(_measure_chunk, index, chunk)
-                for index, chunk in enumerate(chunks)
-            ]
-            try:
-                for future in as_completed(futures):
-                    chunk_result = future.result()
-                    if progress is not None and chunk_result.invocations:
-                        progress.advance(chunk_result.invocations)
-                    results.append(chunk_result)
-            except BrokenProcessPool as exc:
-                raise ExecutorUnavailable(
-                    f"worker pool died mid-sweep: {exc}"
-                ) from exc
-    except ExecutorUnavailable:
-        raise
+        futures = [
+            pool.executor.submit(_measure_chunk, index, chunk)
+            for index, chunk in enumerate(chunks)
+        ]
+        try:
+            for future in as_completed(futures):
+                chunk_result = future.result()
+                if progress is not None and chunk_result.invocations:
+                    progress.advance(chunk_result.invocations)
+                results.append(chunk_result)
+        except BrokenProcessPool as exc:
+            raise ExecutorUnavailable(
+                f"worker pool died mid-sweep: {exc}"
+            ) from exc
+    finally:
+        if owned:
+            pool.close()
     results.sort(key=lambda chunk_result: chunk_result.chunk_index)
     return results

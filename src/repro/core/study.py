@@ -40,7 +40,7 @@ import math
 import os
 import time
 from pathlib import Path
-from typing import Iterable, Optional, Sequence, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from repro.core.normalization import References
 from repro.core.results import (
@@ -101,6 +101,10 @@ _RESTORED = _REGISTRY.counter(
     "repro_study_checkpoint_restores_total",
     "Cache entries restored from a checkpoint file",
 )
+_CACHE_EVICTIONS = _REGISTRY.counter(
+    "repro_study_cache_evictions_total",
+    "Results evicted from a capacity-bounded study cache (LRU order)",
+)
 
 
 class _Stats:
@@ -151,6 +155,19 @@ class Study:
     pure and keyed by deterministic per-site seeds, a parallel ``run()``
     returns results, health, and checkpoint bytes identical to the
     sequential path at any worker count (see docs/performance.md).
+
+    ``cache_capacity`` bounds the in-memory result cache: once more than
+    that many pairs are cached, the least-recently-used result is
+    evicted (and counted in ``repro_study_cache_evictions_total``).
+    Because measurements are pure, an evicted pair re-measures to the
+    byte-identical result; the cap trades repeat work for bounded memory
+    in long-lived processes such as the campaign server.  ``None`` (the
+    default) keeps the cache unbounded, exactly as before.
+
+    ``reuse_pool`` keeps the parallel sweep's worker pool alive between
+    ``run()``/``run_pairs()`` calls instead of tearing it down per sweep
+    — again a long-lived-process affordance; call :meth:`close_pool`
+    (or rely on process exit) to release the workers.
     """
 
     def __init__(
@@ -164,11 +181,18 @@ class Study:
         retry: Optional[RetryPolicy] = None,
         checkpoint_path: Optional[Path | str] = None,
         jobs: Optional[Union[int, str]] = None,
+        cache_capacity: Optional[int] = None,
+        reuse_pool: bool = False,
     ) -> None:
         if not math.isfinite(invocation_scale) or invocation_scale <= 0:
             raise ValueError(
                 f"invocation scale must be positive and finite, "
                 f"got {invocation_scale!r}"
+            )
+        if cache_capacity is not None and cache_capacity < 1:
+            raise ValueError(
+                f"cache capacity must be >= 1 (or None for unbounded), "
+                f"got {cache_capacity!r}"
             )
         self._references = references or References(engine)
         self._engine = self._references.engine
@@ -181,6 +205,9 @@ class Study:
             Path(checkpoint_path) if checkpoint_path is not None else None
         )
         self._jobs = jobs
+        self._cache_capacity = cache_capacity
+        self._reuse_pool = reuse_pool
+        self._pool = None  # lazily created when reuse_pool is set
         self._cache: dict[tuple[Benchmark, str], RunResult] = {}
         self._restored_keys: set[tuple[Benchmark, str]] = set()
         self._quarantine: dict[tuple[Benchmark, str], QuarantineEntry] = {}
@@ -217,11 +244,46 @@ class Study:
 
     # -- caching / planning ----------------------------------------------------
 
+    @property
+    def cache_capacity(self) -> Optional[int]:
+        return self._cache_capacity
+
+    @property
+    def cached_pairs(self) -> int:
+        """Results currently held in the in-memory cache."""
+        return len(self._cache)
+
     def clear_cache(self) -> None:
         """Evict every cached result (measurements are pure, so a re-run
         reproduces the identical dataset)."""
         self._cache.clear()
         self._restored_keys.clear()
+
+    def _cache_get(
+        self, key: tuple[Benchmark, str]
+    ) -> Optional[RunResult]:
+        """Cache lookup that refreshes LRU recency on a hit.
+
+        The cache dict's insertion order doubles as the recency order:
+        re-inserting a hit key moves it to the far (young) end, so
+        eviction can always take the dict's first key."""
+        result = self._cache.get(key)
+        if result is not None and self._cache_capacity is not None:
+            self._cache[key] = self._cache.pop(key)
+        return result
+
+    def _cache_store(self, key: tuple[Benchmark, str], result: RunResult) -> None:
+        """Insert one result, evicting the least-recently-used entries
+        past ``cache_capacity`` (unbounded when the capacity is None)."""
+        self._cache[key] = result
+        if self._cache_capacity is None:
+            return
+        while len(self._cache) > self._cache_capacity:
+            oldest = next(iter(self._cache))
+            del self._cache[oldest]
+            self._restored_keys.discard(oldest)
+            if self._instrument:
+                _CACHE_EVICTIONS.inc()
 
     def clear_quarantine(self) -> None:
         """Give quarantined pairs another chance on the next sweep."""
@@ -297,28 +359,40 @@ class Study:
         killed mid-write — are skipped, not fatal: a checkpoint is a
         cache, and the worst a skipped line costs is one re-measurement.
         """
-        by_name = {b.name: b for b in self._benchmarks}
-        restored = 0
+        results = []
         with Path(path).open("r", encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
                 try:
-                    record = json.loads(line)
-                    result = RunResult.from_record(record)
+                    results.append(RunResult.from_record(json.loads(line)))
                 except (ValueError, KeyError, TypeError):
                     continue  # truncated / malformed line: re-measure instead
-                benchmark = by_name.get(result.benchmark_name) or (
-                    BENCHMARKS_BY_NAME.get(result.benchmark_name)
-                )
-                if benchmark is None:
-                    continue
-                key = (benchmark, result.config_key)
-                if key not in self._cache:
-                    self._cache[key] = result
-                    self._restored_keys.add(key)
-                    restored += 1
+        return self.restore_records(results)
+
+    def restore_records(self, records: Iterable[RunResult]) -> int:
+        """Load pre-measured results straight into the result cache.
+
+        The warm-start primitive shared by :meth:`restore_checkpoint` and
+        the campaign server's persistent store: records for unknown
+        benchmarks are skipped, already-cached pairs keep their existing
+        result, and restored pairs are accounted as ``restored`` (not
+        ``cached``) in later campaign health reports.  Returns the number
+        of entries actually restored."""
+        by_name = {b.name: b for b in self._benchmarks}
+        restored = 0
+        for result in records:
+            benchmark = by_name.get(result.benchmark_name) or (
+                BENCHMARKS_BY_NAME.get(result.benchmark_name)
+            )
+            if benchmark is None:
+                continue
+            key = (benchmark, result.config_key)
+            if key not in self._cache:
+                self._cache_store(key, result)
+                self._restored_keys.add(key)
+                restored += 1
         if self._instrument and restored:
             _RESTORED.inc(restored)
         return restored
@@ -340,7 +414,7 @@ class Study:
         entries instead of propagating.
         """
         cache_key = (benchmark, config.key)
-        cached = self._cache.get(cache_key)
+        cached = self._cache_get(cache_key)
         if cached is not None:
             if self._instrument:
                 _CACHE_HITS.inc()
@@ -355,7 +429,7 @@ class Study:
             # The uninstrumented-equivalent path: no counters, no span, no
             # clock reads — what the overhead benchmark baselines against.
             result = self._measure_uncached(benchmark, config)
-            self._cache[cache_key] = result
+            self._cache_store(cache_key, result)
             self._checkpoint_append(result)
             return result
         _CACHE_MISSES.inc()
@@ -375,7 +449,7 @@ class Study:
             if remeasures:
                 span.set_attribute("outlier_remeasures", remeasures)
             _MEASURE_SECONDS.observe(time.perf_counter() - started)
-        self._cache[cache_key] = result
+        self._cache_store(cache_key, result)
         self._checkpoint_append(result)
         return result
 
@@ -590,6 +664,23 @@ class Study:
             for config in configurations
             for benchmark in chosen
         ]
+        return self.run_pairs(pairs, jobs=jobs)
+
+    def run_pairs(
+        self,
+        pairs: Sequence[tuple[Benchmark, Configuration]],
+        jobs: Optional[Union[int, str]] = None,
+    ) -> ResultSet:
+        """Measure an explicit (benchmark, configuration) pair list.
+
+        The primitive under :meth:`run` — same resilience, caching,
+        parallel dispatch, and deterministic merge — but without the
+        cross-product, so callers that accumulate *heterogeneous* work
+        (the campaign server batches whatever requests arrived together)
+        can dispatch it as one sweep.  Duplicate pairs are measured once
+        and each occurrence reported, exactly as ``run`` treats a repeated
+        configuration."""
+        pairs = list(pairs)
         if self._progress is not None:
             self._progress.extend_total(
                 sum(
@@ -699,6 +790,7 @@ class Study:
         can be created (the caller falls back to the sequential loop)."""
         from repro.core.executor import (
             ExecutorUnavailable,
+            SweepPool,
             WorkerSetup,
             run_pairs,
         )
@@ -724,12 +816,36 @@ class Study:
             (benchmark, config, index)
             for index, (benchmark, config) in enumerate(pending)
         )
+        pool = None
+        if self._reuse_pool:
+            if self._pool is not None and not self._pool.compatible_with(setup):
+                self.close_pool()
+            if self._pool is None:
+                try:
+                    self._pool = SweepPool(setup, workers)
+                except ExecutorUnavailable:
+                    return None
+            pool = self._pool
         try:
             return run_pairs(
-                setup, indexed, jobs=workers, progress=self._progress
+                setup, indexed, jobs=workers, progress=self._progress,
+                pool=pool,
             )
         except ExecutorUnavailable:
+            if pool is not None:
+                # The kept-alive pool broke mid-sweep: drop it so the
+                # next dispatch starts a fresh one.
+                self.close_pool()
             return None
+
+    def close_pool(self) -> None:
+        """Shut down the kept-alive worker pool, if one exists.
+
+        Only meaningful for ``reuse_pool=True`` studies (the campaign
+        server calls this on drain); a no-op otherwise."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
 
     def _merge_parallel(
         self,
@@ -765,7 +881,7 @@ class Study:
             if entry is not None:
                 quarantined.append(entry)
                 continue
-            cached_result = self._cache.get(key)
+            cached_result = self._cache_get(key)
             if cached_result is not None:
                 if self._instrument:
                     _CACHE_HITS.inc()
@@ -781,7 +897,7 @@ class Study:
             for name in outcome.failure_events:
                 self._stats.record_failure_name(name)
             if outcome.result is not None:
-                self._cache[key] = outcome.result
+                self._cache_store(key, outcome.result)
                 self._checkpoint_append(outcome.result)
                 results.append(outcome.result)
                 measured += 1
@@ -820,6 +936,79 @@ class Study:
     ) -> ResultSet:
         """Measure one configuration across benchmarks."""
         return self.run((configuration,), benchmarks)
+
+
+# -- checkpoint fingerprints -------------------------------------------------
+#
+# A JSONL checkpoint is a cache of measured records, and the records are
+# only valid for the run parameters that produced them: the library root
+# seed, the protocol's invocation scale, and the armed fault plan.  The
+# fingerprint lives in a *sidecar* file (``<checkpoint>.meta``) so the
+# checkpoint itself stays pure JSONL with bytes identical across
+# sequential, parallel, and resumed campaigns.
+
+CHECKPOINT_META_VERSION = 1
+
+
+def checkpoint_meta_path(path: Path | str) -> Path:
+    """Sidecar metadata path for a JSONL checkpoint (``<path>.meta``)."""
+    path = Path(path)
+    return path.with_name(path.name + ".meta")
+
+
+def run_fingerprint(
+    invocation_scale: float = 1.0, plan: Optional[object] = None
+) -> dict[str, object]:
+    """The parameters that make two campaigns byte-comparable.
+
+    Worker count, checkpointing, and telemetry never affect result
+    bytes, so they are deliberately absent; ``plan`` is the armed
+    :class:`~repro.faults.plan.FaultPlan` (or None when disarmed), whose
+    content fingerprint — not just its seed — is recorded."""
+    from repro.core.seeding import ROOT_SEED
+
+    return {
+        "version": CHECKPOINT_META_VERSION,
+        "root_seed": ROOT_SEED,
+        "invocation_scale": invocation_scale,
+        "fault_plan": plan.fingerprint if plan is not None else None,
+    }
+
+
+def write_checkpoint_meta(
+    path: Path | str, fingerprint: Mapping[str, object]
+) -> Path:
+    meta = checkpoint_meta_path(path)
+    meta.write_text(
+        json.dumps(dict(fingerprint), sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return meta
+
+
+def read_checkpoint_meta(path: Path | str) -> Optional[dict]:
+    """The fingerprint recorded beside a checkpoint, or ``None`` for
+    checkpoints without a readable sidecar (every pre-sidecar one)."""
+    try:
+        data = json.loads(
+            checkpoint_meta_path(path).read_text(encoding="utf-8")
+        )
+    except (OSError, ValueError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def fingerprint_mismatch(
+    saved: Mapping[str, object], current: Mapping[str, object]
+) -> Optional[str]:
+    """One-line description of the first differing fingerprint field, or
+    ``None`` when the checkpoint is compatible with the current run."""
+    for field in ("root_seed", "invocation_scale", "fault_plan"):
+        if saved.get(field) != current.get(field):
+            return (
+                f"{field}: saved run had {saved.get(field)!r}, "
+                f"this run has {current.get(field)!r}"
+            )
+    return None
 
 
 _SHARED_STUDY: Optional[Study] = None

@@ -31,6 +31,7 @@ the meter's clamp telemetry exist to catch.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 from dataclasses import dataclass
@@ -128,6 +129,18 @@ class FaultPlan:
     def specs_for_stage(self, stage: str) -> tuple[FaultSpec, ...]:
         """Specs whose kind lives in ``stage`` (the prefix before the dot)."""
         return tuple(s for s in self.specs if s.kind.split(".")[0] == stage)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable short digest of the plan's *content* (seed and specs).
+
+        Two plans with the same fingerprint produce the same fault
+        decisions at every site, so the fingerprint is the right identity
+        for anything that must not mix results across plans: checkpoint
+        compatibility sidecars and the campaign server's coalescing keys
+        both use it."""
+        canonical = json.dumps(self.as_dict(), sort_keys=True)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
 
     @property
     def fail_stop_only(self) -> bool:

@@ -19,6 +19,12 @@ from repro.obs.metrics import (
 )
 
 
+#: Content-Type for the Prometheus text exposition format, for anything
+#: serving :func:`render_prometheus` over HTTP (the campaign server's
+#: ``/metrics`` endpoint, or a future scrape sidecar).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def _format_value(value: float) -> str:
     if value == math.inf:
         return "+Inf"

@@ -1,0 +1,39 @@
+"""Measurement-as-a-service: the campaign server and its parts.
+
+``repro serve`` exposes the study over HTTP (:mod:`repro.service.server`),
+scheduled through a coalescing, admission-controlled job queue
+(:mod:`repro.service.scheduler`), rate-limited per client
+(:mod:`repro.service.ratelimit`), and made durable by a SQLite result
+store that warm-starts the study cache across restarts
+(:mod:`repro.service.store`).  See ``docs/service.md``.
+"""
+
+from repro.service.ratelimit import ClientRateLimiter, TokenBucket
+from repro.service.scheduler import (
+    CampaignScheduler,
+    Draining,
+    InvalidPlan,
+    MeasurementFailed,
+    Saturated,
+    SchedulerError,
+)
+from repro.service.server import CampaignServer, Request, Response, serve, serve_async
+from repro.service.store import ResultStore, StoreError
+
+__all__ = [
+    "CampaignScheduler",
+    "CampaignServer",
+    "ClientRateLimiter",
+    "Draining",
+    "InvalidPlan",
+    "MeasurementFailed",
+    "Request",
+    "Response",
+    "ResultStore",
+    "Saturated",
+    "SchedulerError",
+    "StoreError",
+    "TokenBucket",
+    "serve",
+    "serve_async",
+]

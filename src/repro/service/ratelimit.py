@@ -1,0 +1,97 @@
+"""Token-bucket rate limiting for the campaign server.
+
+Classic per-client token buckets: each client owns a bucket of
+``burst`` tokens refilled at ``rate`` tokens/second; a request takes one
+token or is rejected with the exact number of seconds until the next
+token exists — which the server surfaces as ``Retry-After``, so a
+well-behaved client backs off by precisely the right amount instead of
+hammering the admission queue.
+
+Time is injected (``clock``) rather than read ambiently, for the same
+reason everything else in this library is seeded: tests drive the bucket
+with a fake clock and get deterministic admit/reject sequences.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class TokenBucket:
+    """One client's budget: ``burst`` capacity, ``rate`` tokens/second."""
+
+    __slots__ = ("rate", "burst", "_tokens", "_updated")
+
+    def __init__(self, rate: float, burst: float, now: float = 0.0) -> None:
+        if rate <= 0 or burst < 1:
+            raise ValueError(
+                f"need rate > 0 and burst >= 1, got rate={rate}, burst={burst}"
+            )
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._tokens = float(burst)
+        self._updated = float(now)
+
+    @property
+    def tokens(self) -> float:
+        return self._tokens
+
+    def try_take(self, now: float) -> tuple[bool, float]:
+        """Take one token at time ``now``.
+
+        Returns ``(admitted, retry_after_s)``; ``retry_after_s`` is 0 on
+        admission, else the seconds until one full token has refilled.
+        """
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self._tokens) / self.rate
+
+
+class ClientRateLimiter:
+    """Per-client token buckets with a bounded client table.
+
+    ``rate=None`` disables limiting entirely (every request admitted).
+    The client table is LRU-bounded at ``max_clients`` so an open server
+    cannot be grown without bound by spoofed client ids; evicting a
+    client forgets its debt, which errs on the side of admission.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 5.0,
+        max_clients: int = 1024,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_clients < 1:
+            raise ValueError(f"need max_clients >= 1, got {max_clients}")
+        self._rate = rate
+        self._burst = burst
+        self._max_clients = max_clients
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+
+    @property
+    def enabled(self) -> bool:
+        return self._rate is not None
+
+    def admit(self, client: str) -> tuple[bool, float]:
+        """``(admitted, retry_after_s)`` for one request from ``client``."""
+        if self._rate is None:
+            return True, 0.0
+        now = self._clock()
+        bucket = self._buckets.get(client)
+        if bucket is None:
+            bucket = TokenBucket(self._rate, self._burst, now=now)
+            self._buckets[client] = bucket
+            while len(self._buckets) > self._max_clients:
+                del self._buckets[next(iter(self._buckets))]
+        else:
+            # Refresh LRU recency (dict order doubles as recency order).
+            self._buckets[client] = self._buckets.pop(client)
+        return bucket.try_take(now)

@@ -1,0 +1,350 @@
+"""The campaign server's job scheduler: coalescing, admission, dispatch.
+
+Three queueing ideas turn the batch :class:`~repro.core.study.Study`
+into something that can serve heavy concurrent traffic:
+
+**Coalescing.**  Every in-flight job is keyed by (benchmark,
+configuration, fault-plan fingerprint); a request whose key is already
+in flight awaits the *same* future instead of enqueuing a duplicate.
+Because measurements are pure, N concurrent identical requests are one
+engine execution whose single result answers all N — and the response
+bytes equal the sequential ``Study.run`` record, so coalescing is
+invisible to clients.
+
+**Admission control.**  The in-flight table is bounded; past
+``max_pending`` jobs a submit fails with :class:`Saturated`, which the
+HTTP layer turns into ``429`` plus a ``Retry-After`` derived from the
+observed per-job service time.  Backpressure therefore arrives *before*
+the measurement queue grows without bound, not after the process OOMs.
+
+**Batched dispatch.**  Jobs that arrive while a batch is measuring are
+drained together on the next cycle and dispatched as one
+``Study.run_pairs`` sweep — which shards across the existing parallel
+executor (``jobs``), keeps the retry/fault-injection stack intact, and
+merges deterministically.  All measurement happens on one dedicated
+thread; the study is single-threaded by design, and the event loop only
+ever awaits it.
+
+Per-request fault plans must be *fail-stop only*: the study cache and
+result store are keyed by (benchmark, configuration) alone, which is
+sound precisely because retried fail-stop faults reproduce the
+fault-free bytes.  A corrupting per-request plan would poison shared
+state, so :meth:`CampaignScheduler.submit` rejects it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import nullcontext
+from typing import Optional, Sequence
+
+from repro.core.results import RunResult
+from repro.core.study import Study
+from repro.faults.injector import injected
+from repro.faults.plan import FaultPlan
+from repro.hardware.config import Configuration
+from repro.obs.metrics import default_registry
+from repro.service.store import ResultStore
+from repro.workloads.benchmark import Benchmark
+
+_REGISTRY = default_registry()
+_JOBS = _REGISTRY.counter(
+    "repro_service_jobs_total",
+    "Unique measurement jobs accepted by the scheduler",
+)
+_COALESCED = _REGISTRY.counter(
+    "repro_service_coalesced_total",
+    "Requests answered by an already-in-flight identical job",
+)
+_REJECTED = _REGISTRY.counter(
+    "repro_service_rejected_total",
+    "Requests refused by admission control, by reason",
+)
+_PENDING = _REGISTRY.gauge(
+    "repro_service_pending_jobs",
+    "Jobs currently queued or measuring in the scheduler",
+)
+_BATCH_PAIRS = _REGISTRY.histogram(
+    "repro_service_batch_pairs",
+    "Pairs dispatched per measurement batch",
+    buckets=(1, 2, 4, 8, 16, 32, 64),
+)
+_BATCH_SECONDS = _REGISTRY.histogram(
+    "repro_service_batch_seconds",
+    "Wall-clock seconds per measurement batch",
+)
+
+#: Job identity: what must match for two requests to share one result.
+JobKey = tuple[str, str, Optional[str]]
+
+
+class SchedulerError(RuntimeError):
+    """Base class for submit-time refusals."""
+
+
+class Saturated(SchedulerError):
+    """The bounded job table is full; retry after ``retry_after_s``."""
+
+    def __init__(self, pending: int, retry_after_s: float) -> None:
+        super().__init__(
+            f"measurement queue is full ({pending} jobs in flight)"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class Draining(SchedulerError):
+    """The server is shutting down and no longer accepts work."""
+
+
+class InvalidPlan(SchedulerError):
+    """A per-request fault plan that could corrupt shared results."""
+
+
+class MeasurementFailed(SchedulerError):
+    """The pair exhausted its retries and was quarantined."""
+
+
+class CampaignScheduler:
+    """Bounded, coalescing front-end over one :class:`Study`.
+
+    ``max_pending`` bounds the in-flight job table (queued + measuring).
+    ``jobs`` is forwarded to ``Study.run_pairs`` per batch, so batches
+    shard across the parallel executor exactly like CLI sweeps do.
+    ``store`` (optional) receives every newly measured record and is the
+    warm-start source across restarts.
+    """
+
+    def __init__(
+        self,
+        study: Study,
+        store: Optional[ResultStore] = None,
+        max_pending: int = 64,
+        jobs: Optional[int | str] = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ValueError(f"need max_pending >= 1, got {max_pending}")
+        self._study = study
+        self._store = store
+        self._max_pending = max_pending
+        self._jobs = jobs
+        self._inflight: dict[JobKey, asyncio.Future] = {}
+        self._queue: list[tuple[JobKey, Benchmark, Configuration, Optional[FaultPlan]]] = []
+        self._wake: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._worker = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-measure"
+        )
+        self._draining = False
+        # EWMA of per-job service seconds, seeding Retry-After estimates.
+        self._job_seconds = 1.0
+        self.completed = 0
+        self.coalesced = 0
+        self.rejected = 0
+        self.failed = 0
+
+    @property
+    def study(self) -> Study:
+        return self._study
+
+    @property
+    def pending(self) -> int:
+        """Jobs queued or measuring right now."""
+        return len(self._inflight)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def retry_after_s(self) -> float:
+        """Suggested client back-off: the queue's estimated drain time."""
+        return max(1.0, round(self.pending * self._job_seconds, 1))
+
+    # -- lifecycle -------------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._dispatcher is not None:
+            raise RuntimeError("scheduler already started")
+        self._wake = asyncio.Event()
+        self._dispatcher = asyncio.create_task(
+            self._dispatch_loop(), name="repro-service-dispatch"
+        )
+
+    async def drain(self) -> dict[str, object]:
+        """Stop admitting, finish every in-flight job, release workers.
+
+        Returns a summary dict for the final health report.  Idempotent:
+        a second drain returns the same summary without re-draining.
+        """
+        self._draining = True
+        if self._wake is not None:
+            self._wake.set()
+        if self._dispatcher is not None:
+            await self._dispatcher
+            self._dispatcher = None
+        self._worker.shutdown(wait=True)
+        self._study.close_pool()
+        if self._store is not None:
+            self._store.flush()
+        return {
+            "completed": self.completed,
+            "coalesced": self.coalesced,
+            "rejected": self.rejected,
+            "failed": self.failed,
+            "quarantined": len(self._study.quarantined),
+            "store_records": len(self._store) if self._store is not None else 0,
+        }
+
+    # -- submission ------------------------------------------------------------
+
+    @staticmethod
+    def job_key(
+        benchmark: Benchmark,
+        config: Configuration,
+        plan: Optional[FaultPlan] = None,
+    ) -> JobKey:
+        return (
+            benchmark.name,
+            config.key,
+            plan.fingerprint if plan is not None else None,
+        )
+
+    async def submit(
+        self,
+        benchmark: Benchmark,
+        config: Configuration,
+        plan: Optional[FaultPlan] = None,
+    ) -> RunResult:
+        """One measurement request: coalesced, admitted, and awaited.
+
+        Raises :class:`Draining`, :class:`Saturated`, :class:`InvalidPlan`
+        at submit time and :class:`MeasurementFailed` when the pair
+        exhausts its retries.
+        """
+        if self._wake is None:
+            raise RuntimeError("scheduler not started")
+        if self._draining:
+            raise Draining("server is draining; no new measurements")
+        if plan is not None and not plan.fail_stop_only:
+            raise InvalidPlan(
+                "per-request fault plans must be fail-stop only "
+                "(corrupting faults would poison the shared result cache)"
+            )
+        key = self.job_key(benchmark, config, plan)
+        future = self._inflight.get(key)
+        if future is not None:
+            self.coalesced += 1
+            _COALESCED.inc()
+            return await future
+        if len(self._inflight) >= self._max_pending:
+            self.rejected += 1
+            _REJECTED.labels(reason="saturated").inc()
+            raise Saturated(len(self._inflight), self.retry_after_s())
+        future = asyncio.get_running_loop().create_future()
+        self._inflight[key] = future
+        self._queue.append((key, benchmark, config, plan))
+        _JOBS.inc()
+        _PENDING.set(len(self._inflight))
+        self._wake.set()
+        return await future
+
+    # -- dispatch --------------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._draining and not self._inflight:
+                    return
+                # clear-then-wait is race-free here: submit/drain only run
+                # while this coroutine is suspended, never between the
+                # clear and the wait.
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            batch, self._queue = self._queue, []
+            # One sweep per distinct plan: the injector is process-global,
+            # so a batch's plan must be uniform while it measures.
+            groups: dict[Optional[str], list] = {}
+            for job in batch:
+                groups.setdefault(job[0][2], []).append(job)
+            for jobs in groups.values():
+                plan = jobs[0][3]
+                pairs = [(benchmark, config) for _, benchmark, config, _ in jobs]
+                started = time.perf_counter()
+                try:
+                    results, failures = await loop.run_in_executor(
+                        self._worker, self._measure_batch, plan, pairs
+                    )
+                except BaseException as exc:  # noqa: BLE001 - fan the error out
+                    for key, *_ in jobs:
+                        self._resolve(key, error=exc)
+                    continue
+                elapsed = time.perf_counter() - started
+                _BATCH_PAIRS.observe(len(pairs))
+                _BATCH_SECONDS.observe(elapsed)
+                self._job_seconds = 0.7 * self._job_seconds + 0.3 * (
+                    elapsed / max(1, len(pairs))
+                )
+                for key, benchmark, config, _ in jobs:
+                    pair_key = (benchmark.name, config.key)
+                    if pair_key in results:
+                        self._resolve(key, result=results[pair_key])
+                    else:
+                        self.failed += 1
+                        self._resolve(
+                            key,
+                            error=MeasurementFailed(
+                                failures.get(
+                                    pair_key, "measurement produced no result"
+                                )
+                            ),
+                        )
+
+    def _resolve(
+        self,
+        key: JobKey,
+        result: Optional[RunResult] = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        future = self._inflight.pop(key, None)
+        _PENDING.set(len(self._inflight))
+        if future is None or future.done():
+            return
+        if error is not None:
+            future.set_exception(error)
+        else:
+            self.completed += 1
+            future.set_result(result)
+
+    def _measure_batch(
+        self,
+        plan: Optional[FaultPlan],
+        pairs: Sequence[tuple[Benchmark, Configuration]],
+    ) -> tuple[dict[tuple[str, str], RunResult], dict[tuple[str, str], str]]:
+        """Measure one batch on the measurement thread.
+
+        Returns results and quarantine reasons keyed by (benchmark name,
+        config key).  Newly measured records are persisted to the store
+        before the event loop sees them, so a crash after a response was
+        sent can never lose the record behind it.
+        """
+        scope = injected(plan) if plan is not None else nullcontext()
+        with scope:
+            outcome = self._study.run_pairs(pairs, jobs=self._jobs)
+        results = {
+            (r.benchmark_name, r.config_key): r for r in outcome
+        }
+        if self._store is not None:
+            fresh = [
+                result
+                for key, result in results.items()
+                if key not in self._store
+            ]
+            self._store.put_many(fresh)
+        failures: dict[tuple[str, str], str] = {}
+        if outcome.health is not None:
+            for entry in outcome.health.quarantined:
+                failures[(entry.benchmark_name, entry.config_key)] = entry.reason
+        return results, failures

@@ -1,0 +1,565 @@
+"""The campaign server: measurement-as-a-service over HTTP.
+
+A deliberately small asyncio HTTP/1.1 server — stdlib only, one handler
+per connection, ``Connection: close`` — that exposes the measurement
+campaign as an API:
+
+========================  ====================================================
+``POST /measure``         measure one (benchmark, configuration); the response
+                          body is byte-for-byte ``json.dumps(result.as_record())``
+``GET /results``          stored records, filterable by benchmark / config
+``GET /pareto``           energy/performance points per stored configuration,
+                          with the Pareto-efficient subset flagged
+``GET /healthz``          liveness, queue depth, and campaign health
+``GET /metrics``          Prometheus exposition of the whole registry
+========================  ====================================================
+
+The interesting work lives below the routes: requests funnel into a
+:class:`~repro.service.scheduler.CampaignScheduler` that coalesces
+identical concurrent measurements, applies admission control (bounded
+queue → ``429`` + ``Retry-After``), and batches arrivals through the
+study's parallel executor.  Because measurements are pure and all noise
+is seeded by site, the response to a coalesced, parallel, or
+warm-started request is byte-identical to a sequential ``Study.run`` —
+the server is a cache in front of physics, not a new source of truth.
+
+On SIGTERM/SIGINT the server drains: it stops admitting measurements
+(``503`` for new ``POST``s), finishes every in-flight job, flushes the
+result store, and prints a final health report.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping, Optional, TextIO, Union
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.core.aggregation import group_means, weighted_average
+from repro.core.pareto import TradeoffPoint, pareto_efficient
+from repro.core.study import Study
+from repro.faults.plan import FaultPlan, demo_plan, fail_stop_plan
+from repro.hardware.catalog import processor
+from repro.hardware.config import UnsupportedConfigurationError, stock
+from repro.hardware.configurations import all_configurations
+from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
+from repro.obs.metrics import default_registry
+from repro.service.ratelimit import ClientRateLimiter
+from repro.service.scheduler import (
+    CampaignScheduler,
+    Draining,
+    InvalidPlan,
+    MeasurementFailed,
+    Saturated,
+)
+from repro.service.store import ResultStore
+from repro.workloads.catalog import BENCHMARKS, benchmark
+
+_REGISTRY = default_registry()
+_REQUESTS = _REGISTRY.counter(
+    "repro_service_requests_total",
+    "HTTP requests served, by route and status code",
+)
+_RATELIMITED = _REGISTRY.counter(
+    "repro_service_ratelimited_total",
+    "Measurement requests refused by per-client rate limiting",
+)
+
+#: Maximum accepted request body (a measure request is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+#: Per-read timeout; a stalled client cannot pin a connection forever.
+IO_TIMEOUT_S = 30.0
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One parsed HTTP request, as the route handlers see it."""
+
+    method: str
+    path: str
+    query: Mapping[str, str]
+    headers: Mapping[str, str]  # keys lower-cased
+    body: bytes
+    peer: str
+
+    @property
+    def client_id(self) -> str:
+        """Rate-limit identity: ``X-Client-Id`` if sent, else the peer."""
+        return self.headers.get("x-client-id", "").strip() or self.peer
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    status: int
+    body: bytes
+    content_type: str = "application/json"
+    headers: tuple[tuple[str, str], ...] = field(default=())
+
+    def encode(self) -> bytes:
+        reason = _REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            "Connection: close",
+        ]
+        lines.extend(f"{name}: {value}" for name, value in self.headers)
+        head = "\r\n".join(lines) + "\r\n\r\n"
+        return head.encode("latin-1") + self.body
+
+
+def _json_response(
+    status: int,
+    payload: object,
+    headers: tuple[tuple[str, str], ...] = (),
+) -> Response:
+    return Response(
+        status, json.dumps(payload).encode("utf-8"), headers=headers
+    )
+
+
+def _error(status: int, message: str, **extra: object) -> Response:
+    headers: tuple[tuple[str, str], ...] = ()
+    retry_after = extra.get("retry_after_s")
+    if retry_after is not None:
+        # Retry-After is integer seconds; round up so clients never
+        # return a moment before a token exists.
+        headers = (("Retry-After", str(max(1, int(-(-float(retry_after) // 1))))),)
+    return _json_response(status, {"error": message, **extra}, headers=headers)
+
+
+class BadRequest(ValueError):
+    """A client error the measure handler converts to a 400."""
+
+
+class CampaignServer:
+    """The wired-together service: store → study → scheduler → routes.
+
+    ``store`` is a :class:`ResultStore`, a path, or ``None`` (a private
+    in-memory store, so ``/results`` and ``/pareto`` behave uniformly).
+    ``fingerprint`` (see :func:`repro.core.study.run_fingerprint`) binds
+    a persistent store to one set of run parameters; a mismatched store
+    raises :class:`~repro.service.store.StoreError` at startup rather
+    than serving mixed data.  ``rate``/``burst`` configure per-client
+    token buckets on ``POST /measure`` (``rate=None`` disables).
+    """
+
+    def __init__(
+        self,
+        study: Optional[Study] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        store: Union[ResultStore, Path, str, None] = None,
+        fingerprint: Optional[Mapping[str, object]] = None,
+        max_pending: int = 64,
+        jobs: Optional[Union[int, str]] = None,
+        rate: Optional[float] = None,
+        burst: float = 5.0,
+    ) -> None:
+        self._study = study if study is not None else Study()
+        self._host = host
+        self._port = port
+        if isinstance(store, ResultStore):
+            self._store, self._owns_store = store, False
+        else:
+            self._store = ResultStore(store if store is not None else ":memory:")
+            self._owns_store = True
+        self._fingerprint = fingerprint
+        self._scheduler = CampaignScheduler(
+            self._study, store=self._store, max_pending=max_pending, jobs=jobs
+        )
+        self._limiter = ClientRateLimiter(rate, burst=burst)
+        self._configs_by_key = {c.key: c for c in all_configurations()}
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._started_monotonic = 0.0
+        self.restored = 0  # records warm-started from the store
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def host(self) -> str:
+        return self._host
+
+    @property
+    def port(self) -> int:
+        """The bound port (resolves ``port=0`` after :meth:`start`)."""
+        return self._port
+
+    @property
+    def store(self) -> ResultStore:
+        return self._store
+
+    @property
+    def scheduler(self) -> CampaignScheduler:
+        return self._scheduler
+
+    async def start(self) -> None:
+        """Bind the store, warm-start the study, and open the socket."""
+        if self._fingerprint is not None:
+            self._store.check_fingerprint(self._fingerprint)
+        self.restored = self._store.warm_start(self._study)
+        await self._scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self._host, self._port
+        )
+        self._port = self._server.sockets[0].getsockname()[1]
+        self._started_monotonic = time.monotonic()
+
+    async def shutdown(self) -> dict[str, object]:
+        """Graceful drain: finish in-flight jobs, flush, close, report."""
+        summary = await self._scheduler.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._owns_store:
+            self._store.close()
+        return {"restored": self.restored, **summary}
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await self._read_request(reader, writer)
+                response = await self.handle(request)
+            except BadRequest as exc:
+                response = _error(400, str(exc))
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError, ValueError):
+                response = _error(400, "malformed request")
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                response = _error(500, f"internal error: {exc}")
+            writer.write(response.encode())
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass  # the client went away; nothing left to tell it
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> Request:
+        line = await asyncio.wait_for(reader.readline(), IO_TIMEOUT_S)
+        parts = line.decode("latin-1").strip().split()
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise BadRequest("malformed request line")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), IO_TIMEOUT_S)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
+        if length < 0 or length > MAX_BODY_BYTES:
+            raise BadRequest(f"body too large (limit {MAX_BODY_BYTES} bytes)")
+        body = (
+            await asyncio.wait_for(reader.readexactly(length), IO_TIMEOUT_S)
+            if length
+            else b""
+        )
+        split = urlsplit(target)
+        peername = writer.get_extra_info("peername")
+        peer = peername[0] if isinstance(peername, tuple) else "unknown"
+        return Request(
+            method=method,
+            path=split.path or "/",
+            query=dict(parse_qsl(split.query)),
+            headers=headers,
+            body=body,
+            peer=peer,
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    async def handle(self, request: Request) -> Response:
+        """Route one request; usable directly in tests (no sockets)."""
+        routes = {
+            "/measure": ("POST", self._measure),
+            "/results": ("GET", self._results),
+            "/pareto": ("GET", self._pareto),
+            "/healthz": ("GET", self._healthz),
+            "/metrics": ("GET", self._metrics),
+        }
+        entry = routes.get(request.path)
+        if entry is None:
+            response = _error(404, f"no route {request.path}")
+        elif request.method != entry[0]:
+            response = _error(405, f"{request.path} accepts {entry[0]} only")
+        else:
+            response = await entry[1](request)
+        _REQUESTS.labels(
+            route=request.path if entry is not None else "unknown",
+            status=str(response.status),
+        ).inc()
+        return response
+
+    # -- routes ----------------------------------------------------------------
+
+    async def _measure(self, request: Request) -> Response:
+        admitted, retry_after_s = self._limiter.admit(request.client_id)
+        if not admitted:
+            _RATELIMITED.inc()
+            return _error(
+                429,
+                "rate limit exceeded",
+                retry_after_s=round(retry_after_s, 3),
+            )
+        try:
+            bench, config, plan = self._parse_measure_body(request.body)
+        except BadRequest as exc:
+            return _error(400, str(exc))
+        try:
+            result = await self._scheduler.submit(bench, config, plan)
+        except Draining:
+            return _error(503, "server is draining; no new measurements")
+        except Saturated as exc:
+            return _error(
+                429,
+                "measurement queue is full",
+                retry_after_s=exc.retry_after_s,
+            )
+        except InvalidPlan as exc:
+            return _error(400, str(exc))
+        except MeasurementFailed as exc:
+            return _error(500, f"measurement failed: {exc}")
+        # The byte-identity contract: exactly json.dumps(as_record()),
+        # the same bytes a sequential Study.run record serialises to.
+        return Response(200, json.dumps(result.as_record()).encode("utf-8"))
+
+    def _parse_measure_body(self, body: bytes):
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, ValueError) as exc:
+            raise BadRequest(f"body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise BadRequest("body must be a JSON object")
+        name = payload.get("benchmark")
+        if not isinstance(name, str):
+            raise BadRequest("missing required field 'benchmark'")
+        try:
+            bench = benchmark(name)
+        except KeyError as exc:
+            raise BadRequest(f"unknown benchmark {name!r}") from exc
+        config = self._parse_configuration(payload)
+        plan = _parse_plan(payload.get("inject"))
+        iterations = payload.get("iterations")
+        if iterations is not None:
+            # Iteration counts are pinned by the run fingerprint (the
+            # protocol times the server's invocation scale): honouring a
+            # per-request count would produce records other clients'
+            # cached/coalesced responses could never match.  Accept only
+            # the count this server will actually run.
+            planned = self._study.scaled_invocations(bench)
+            try:
+                requested = int(iterations)  # type: ignore[arg-type]
+            except (TypeError, ValueError) as exc:
+                raise BadRequest("'iterations' must be an integer") from exc
+            if requested != planned:
+                raise BadRequest(
+                    f"iterations are fixed by the measurement protocol: "
+                    f"this server runs {planned} for {name!r} (launch with "
+                    f"a different --quick/scale to change it)"
+                )
+        return bench, config, plan
+
+    def _parse_configuration(self, payload: Mapping[str, object]):
+        key = payload.get("config")
+        if key is not None:
+            config = self._configs_by_key.get(str(key))
+            if config is None:
+                raise BadRequest(f"unknown configuration key {key!r}")
+            return config
+        proc = payload.get("processor")
+        if not isinstance(proc, str):
+            raise BadRequest("need 'config' (a configuration key) or 'processor'")
+        try:
+            config = stock(processor(proc))
+            cores = payload.get("cores")
+            if cores is not None:
+                config = config.with_cores(int(cores))  # type: ignore[arg-type]
+            threads = payload.get("threads")
+            if threads is not None:
+                config = (
+                    config.without_smt()
+                    if int(threads) == 1  # type: ignore[arg-type]
+                    else config.with_smt()
+                )
+            clock = payload.get("clock")
+            if clock is not None:
+                config = config.at_clock(float(clock))  # type: ignore[arg-type]
+            if payload.get("turbo") is False:
+                config = config.without_turbo()
+        except KeyError as exc:
+            raise BadRequest(f"unknown processor {proc!r}") from exc
+        except (UnsupportedConfigurationError, TypeError, ValueError) as exc:
+            raise BadRequest(f"unsupported configuration: {exc}") from exc
+        return config
+
+    async def _results(self, request: Request) -> Response:
+        records = self._store.records(
+            benchmark=request.query.get("benchmark"),
+            config=request.query.get("config"),
+        )
+        return _json_response(
+            200,
+            {
+                "count": len(records),
+                "results": [r.as_record() for r in records],
+            },
+        )
+
+    async def _pareto(self, request: Request) -> Response:
+        """Energy/performance points from *stored* records only — a GET
+        never triggers measurement; POST the missing cells first."""
+        by_config: dict[str, list] = {}
+        for record in self._store.records():
+            by_config.setdefault(record.config_key, []).append(record)
+        points = []
+        for key in sorted(by_config):
+            rows = by_config[key]
+            speed = group_means(
+                {r.benchmark_name: r.speedup for r in rows}, BENCHMARKS
+            )
+            energy = group_means(
+                {r.benchmark_name: r.normalized_energy for r in rows}, BENCHMARKS
+            )
+            points.append(
+                TradeoffPoint(
+                    key=key,
+                    performance=weighted_average(speed),
+                    energy=weighted_average(energy),
+                )
+            )
+        efficient = {p.key for p in pareto_efficient(points)}
+        return _json_response(
+            200,
+            {
+                "count": len(points),
+                "points": [
+                    {
+                        "configuration": p.key,
+                        "performance": p.performance,
+                        "normalized_energy": p.energy,
+                        "efficient": p.key in efficient,
+                    }
+                    for p in points
+                ],
+            },
+        )
+
+    async def _healthz(self, request: Request) -> Response:
+        draining = self._scheduler.draining
+        payload = self.health()
+        return _json_response(503 if draining else 200, payload)
+
+    def health(self) -> dict[str, object]:
+        """The health snapshot ``/healthz`` serves (and drain prints)."""
+        return {
+            "status": "draining" if self._scheduler.draining else "ok",
+            "uptime_s": round(time.monotonic() - self._started_monotonic, 3),
+            "pending_jobs": self._scheduler.pending,
+            "completed": self._scheduler.completed,
+            "coalesced": self._scheduler.coalesced,
+            "rejected": self._scheduler.rejected,
+            "failed": self._scheduler.failed,
+            "cached_pairs": self._study.cached_pairs,
+            "quarantined": len(self._study.quarantined),
+            "store_records": len(self._store),
+            "restored": self.restored,
+        }
+
+    async def _metrics(self, request: Request) -> Response:
+        return Response(
+            200,
+            render_prometheus().encode("utf-8"),
+            content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+
+def _parse_plan(raw: object) -> Optional[FaultPlan]:
+    """Per-request fault plan: a canned name or an inline plan object.
+
+    File paths are deliberately *not* accepted here — unlike the CLI's
+    ``--inject``, this value crosses a network boundary and must not
+    reach the filesystem.
+    """
+    if raw is None:
+        return None
+    if isinstance(raw, str):
+        if raw == "ci":
+            return fail_stop_plan()
+        if raw == "demo":
+            return demo_plan()
+        raise BadRequest(
+            f"unknown plan {raw!r}: use 'ci', 'demo', or an inline plan object"
+        )
+    if isinstance(raw, dict):
+        try:
+            return FaultPlan.from_dict(raw)
+        except ValueError as exc:
+            raise BadRequest(f"invalid fault plan: {exc}") from exc
+    raise BadRequest("'inject' must be a plan name or a plan object")
+
+
+async def serve_async(
+    server: CampaignServer, stream: TextIO = sys.stderr
+) -> dict[str, object]:
+    """Run ``server`` until SIGTERM/SIGINT, then drain and report."""
+    await server.start()
+    loop = asyncio.get_running_loop()
+    stop = asyncio.Event()
+    installed = []
+    for sig in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, stop.set)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass  # platform without signal support; Ctrl-C still raises
+    print(
+        f"serving on http://{server.host}:{server.port} "
+        f"(store: {server.store.path}, warm-started {server.restored} records)",
+        file=stream,
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        for sig in installed:
+            loop.remove_signal_handler(sig)
+    print("draining: finishing in-flight measurements ...", file=stream, flush=True)
+    report = await server.shutdown()
+    print(
+        "drained: "
+        + ", ".join(f"{key}={value}" for key, value in report.items()),
+        file=stream,
+        flush=True,
+    )
+    return report
+
+
+def serve(server: CampaignServer, stream: TextIO = sys.stderr) -> dict[str, object]:
+    """Blocking entry point the CLI uses."""
+    return asyncio.run(serve_async(server, stream=stream))

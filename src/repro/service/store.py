@@ -1,0 +1,241 @@
+"""SQLite-backed persistent result store for the campaign server.
+
+The JSONL checkpoint (PR 2) is an append-only crash log: perfect for
+resuming one interrupted campaign, wrong for a long-lived server that
+must answer queries from every measurement it has ever made.  This store
+is the serving path's durability layer: one row per (benchmark,
+configuration) holding the full-precision :meth:`RunResult.as_record`
+JSON, plus a metadata table carrying the run fingerprint
+(:func:`repro.core.study.run_fingerprint`) so a restarted server refuses
+to serve records measured under different run parameters instead of
+silently mixing datasets.
+
+Records round-trip exactly: JSON serialises floats via ``repr``, so a
+record read back from the store re-serialises to the byte-identical
+response a fresh measurement would have produced — which is what lets a
+warm-started server honour the byte-identity guarantee without
+re-measuring.
+
+Thread-safety: the server touches the store from the event-loop thread
+(reads) and the measurement thread (writes), so the single shared
+connection is guarded by one re-entrant lock.  SQLite serialises at the
+file level anyway; the lock just keeps cursor use coherent.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+from repro.core.results import RunResult
+from repro.obs.metrics import default_registry
+
+_REGISTRY = default_registry()
+_WRITES = _REGISTRY.counter(
+    "repro_store_writes_total",
+    "Result records persisted to the SQLite result store",
+)
+_READS = _REGISTRY.counter(
+    "repro_store_reads_total",
+    "Result records served back out of the SQLite result store",
+)
+
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    benchmark TEXT NOT NULL,
+    config    TEXT NOT NULL,
+    record    TEXT NOT NULL,
+    created_s REAL NOT NULL,
+    PRIMARY KEY (benchmark, config)
+);
+CREATE TABLE IF NOT EXISTS meta (
+    key   TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+"""
+
+
+class StoreError(RuntimeError):
+    """The store cannot be used as asked (version or fingerprint clash)."""
+
+
+class ResultStore:
+    """Durable (benchmark, configuration) -> :class:`RunResult` map.
+
+    ``path`` may be ``":memory:"`` for tests; anything else is a SQLite
+    database file created on first use.  The store is a *superset* cache:
+    ``put`` is idempotent (INSERT OR REPLACE on the pair key) and
+    :meth:`records` returns rows in sorted (benchmark, config) order, the
+    same canonical order ``Study.save_checkpoint`` uses.
+    """
+
+    def __init__(self, path: Path | str = ":memory:") -> None:
+        self._path = str(path)
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(self._path, check_same_thread=False)
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = 'schema_version'"
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO meta (key, value) VALUES (?, ?)",
+                    ("schema_version", str(SCHEMA_VERSION)),
+                )
+                self._conn.commit()
+            elif int(row[0]) != SCHEMA_VERSION:
+                raise StoreError(
+                    f"{self._path}: store schema v{row[0]} != "
+                    f"supported v{SCHEMA_VERSION}"
+                )
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    # -- result rows ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            (count,) = self._conn.execute(
+                "SELECT COUNT(*) FROM results"
+            ).fetchone()
+        return int(count)
+
+    def __contains__(self, key: tuple[str, str]) -> bool:
+        benchmark, config = key
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM results WHERE benchmark = ? AND config = ?",
+                (benchmark, config),
+            ).fetchone()
+        return row is not None
+
+    def put(self, result: RunResult) -> None:
+        self.put_many((result,))
+
+    def put_many(self, results: Iterable[RunResult]) -> int:
+        """Persist results (idempotently); returns the rows written."""
+        rows = [
+            (
+                result.benchmark_name,
+                result.config_key,
+                json.dumps(result.as_record()),
+                time.time(),
+            )
+            for result in results
+        ]
+        if not rows:
+            return 0
+        with self._lock:
+            self._conn.executemany(
+                "INSERT OR REPLACE INTO results "
+                "(benchmark, config, record, created_s) VALUES (?, ?, ?, ?)",
+                rows,
+            )
+            self._conn.commit()
+        _WRITES.inc(len(rows))
+        return len(rows)
+
+    def get(self, benchmark: str, config: str) -> Optional[RunResult]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record FROM results WHERE benchmark = ? AND config = ?",
+                (benchmark, config),
+            ).fetchone()
+        if row is None:
+            return None
+        _READS.inc()
+        return RunResult.from_record(json.loads(row[0]))
+
+    def records(
+        self,
+        benchmark: Optional[str] = None,
+        config: Optional[str] = None,
+    ) -> list[RunResult]:
+        """Stored results in sorted (benchmark, config) order, optionally
+        filtered to one benchmark and/or one configuration key."""
+        query = "SELECT record FROM results"
+        clauses, args = [], []
+        if benchmark is not None:
+            clauses.append("benchmark = ?")
+            args.append(benchmark)
+        if config is not None:
+            clauses.append("config = ?")
+            args.append(config)
+        if clauses:
+            query += " WHERE " + " AND ".join(clauses)
+        query += " ORDER BY benchmark, config"
+        with self._lock:
+            rows = self._conn.execute(query, args).fetchall()
+        _READS.inc(len(rows))
+        return [RunResult.from_record(json.loads(row[0])) for row in rows]
+
+    # -- run fingerprint -------------------------------------------------------
+
+    def get_meta(self, key: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT value FROM meta WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else str(row[0])
+
+    def set_meta(self, key: str, value: str) -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO meta (key, value) VALUES (?, ?)",
+                (key, value),
+            )
+            self._conn.commit()
+
+    def check_fingerprint(self, current: Mapping[str, object]) -> None:
+        """Bind the store to one run fingerprint.
+
+        A fresh store adopts ``current``; an existing store must match it
+        exactly, because records measured at another scale or under
+        another fault plan are *different data*, and serving them as a
+        warm start would silently break the byte-identity guarantee.
+        Raises :class:`StoreError` on mismatch.
+        """
+        from repro.core.study import fingerprint_mismatch
+
+        stored = self.get_meta("fingerprint")
+        if stored is None:
+            self.set_meta("fingerprint", json.dumps(dict(current), sort_keys=True))
+            return
+        mismatch = fingerprint_mismatch(json.loads(stored), current)
+        if mismatch is not None:
+            raise StoreError(
+                f"{self._path}: store was written by a different run "
+                f"({mismatch}); point the server at a fresh --store or "
+                f"re-launch with the matching flags"
+            )
+
+    # -- warm start / lifecycle ------------------------------------------------
+
+    def warm_start(self, study) -> int:
+        """Preload every stored record into ``study``'s result cache;
+        returns the number restored (skipping pairs already cached)."""
+        return study.restore_records(self.records())
+
+    def flush(self) -> None:
+        with self._lock:
+            self._conn.commit()
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.commit()
+            self._conn.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,343 @@
+"""Integration tests for the campaign server, over real sockets.
+
+The server runs on a private event loop in a daemon thread; tests drive
+it with stdlib HTTP clients from a thread pool, exactly as external
+clients would.  The load-bearing assertions are the service's two
+contracts:
+
+* **Byte identity** — a ``POST /measure`` response body equals
+  ``json.dumps(result.as_record())`` of a sequential ``Study.run``, under
+  coalescing, parallel dispatch, fault injection, and store warm-starts.
+* **One engine execution** — N concurrent identical requests cause
+  exactly one measurement (asserted via the study cache-miss counter,
+  which only the real measurement path increments).
+"""
+
+import asyncio
+import json
+import threading
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.study import Study, run_fingerprint
+from repro.hardware.catalog import ATOM_45, CORE2DUO_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.obs.metrics import default_registry
+from repro.service.server import CampaignServer
+from repro.service.store import ResultStore
+from repro.workloads.catalog import benchmark
+
+
+def _cache_misses() -> float:
+    return default_registry().get("repro_study_cache_misses_total").value
+
+
+class _LiveServer:
+    """A CampaignServer running on its own loop in a daemon thread."""
+
+    def __init__(self, server: CampaignServer) -> None:
+        self.server = server
+        self.loop = asyncio.new_event_loop()
+        self.thread = threading.Thread(
+            target=self.loop.run_forever, name="repro-test-server", daemon=True
+        )
+
+    def __enter__(self) -> "_LiveServer":
+        self.thread.start()
+        asyncio.run_coroutine_threadsafe(
+            self.server.start(), self.loop
+        ).result(timeout=30)
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.shutdown()
+        self.loop.call_soon_threadsafe(self.loop.stop)
+        self.thread.join(timeout=30)
+        self.loop.close()
+
+    def shutdown(self) -> dict:
+        if self.server.scheduler.draining:
+            return {}
+        return asyncio.run_coroutine_threadsafe(
+            self.server.shutdown(), self.loop
+        ).result(timeout=60)
+
+    # -- stdlib HTTP client ----------------------------------------------------
+
+    def request(self, method: str, path: str, body: dict | None = None,
+                headers: dict | None = None):
+        """Returns (status, headers, body bytes); HTTP errors included."""
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.server.port}{path}",
+            data=json.dumps(body).encode() if body is not None else None,
+            headers=headers or {},
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def measure(self, body: dict, headers: dict | None = None):
+        return self.request("POST", "/measure", body, headers)
+
+
+def _quick_study(references, **kwargs) -> Study:
+    return Study(references=references, invocation_scale=0.2, **kwargs)
+
+
+MEASURE_MCF_I7 = {"benchmark": "mcf", "processor": "i7_45"}
+
+
+class TestCoalescingByteIdentity:
+    def test_concurrent_identical_posts_measure_once(self, references):
+        """The tentpole acceptance test: N parallel identical POSTs are
+        one engine execution, and every response body is byte-identical
+        to the sequential Study.run record."""
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            misses_before = _cache_misses()
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                outcomes = list(
+                    pool.map(lambda _: live.measure(MEASURE_MCF_I7), range(8))
+                )
+            misses_after = _cache_misses()
+
+        assert [status for status, _, _ in outcomes] == [200] * 8
+        assert misses_after - misses_before == 1  # exactly one measurement
+
+        sequential = (
+            _quick_study(references)
+            .run([stock(CORE_I7_45)], [benchmark("mcf")])
+            .single()
+        )
+        expected = json.dumps(sequential.as_record()).encode("utf-8")
+        for _, _, body in outcomes:
+            assert body == expected
+
+    def test_parallel_dispatch_preserves_bytes(self, references):
+        """Distinct concurrent requests batch through the parallel
+        executor (jobs=2) and still serve sequential-run bytes."""
+        requests = [
+            {"benchmark": "mcf", "processor": "i7_45"},
+            {"benchmark": "db", "processor": "atom_45"},
+            {"benchmark": "mcf", "processor": "atom_45"},
+            {"benchmark": "db", "processor": "c2d_45"},
+        ]
+        server = CampaignServer(
+            study=_quick_study(references, reuse_pool=True), jobs=2
+        )
+        with _LiveServer(server) as live:
+            with ThreadPoolExecutor(max_workers=4) as pool:
+                outcomes = list(pool.map(live.measure, requests))
+
+        assert [status for status, _, _ in outcomes] == [200] * 4
+        reference_study = _quick_study(references)
+        for spec, (_, _, body) in zip(requests, outcomes):
+            expected = reference_study.measure(
+                benchmark(spec["benchmark"]),
+                stock(
+                    {
+                        "i7_45": CORE_I7_45,
+                        "atom_45": ATOM_45,
+                        "c2d_45": CORE2DUO_45,
+                    }[spec["processor"]]
+                ),
+            )
+            assert body == json.dumps(expected.as_record()).encode("utf-8")
+
+    def test_fault_armed_request_serves_fault_free_bytes(self, references):
+        """A fail-stop fault plan retries to the identical record."""
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            status, _, body = live.measure({**MEASURE_MCF_I7, "inject": "ci"})
+        assert status == 200
+        clean = _quick_study(references).measure(
+            benchmark("mcf"), stock(CORE_I7_45)
+        )
+        assert body == json.dumps(clean.as_record()).encode("utf-8")
+
+
+class TestAdmissionControl:
+    def test_rate_limited_client_gets_429_with_retry_after(self, references):
+        server = CampaignServer(
+            study=_quick_study(references), rate=0.001, burst=1.0
+        )
+        with _LiveServer(server) as live:
+            first = live.measure(MEASURE_MCF_I7, {"X-Client-Id": "impatient"})
+            second = live.measure(MEASURE_MCF_I7, {"X-Client-Id": "impatient"})
+            other = live.measure(MEASURE_MCF_I7, {"X-Client-Id": "patient"})
+        assert first[0] == 200
+        assert second[0] == 429
+        assert int(second[1]["Retry-After"]) >= 1
+        assert other[0] == 200  # budgets are per client
+
+    def test_draining_server_rejects_new_measurements(self, references):
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            live.shutdown()  # drain completes; listener still answers
+            # (the socket closes with the drain, so expect refusal either
+            # at HTTP (503) or connection level)
+            try:
+                status, _, _ = live.measure(MEASURE_MCF_I7)
+                assert status == 503
+            except (urllib.error.URLError, ConnectionError):
+                pass
+
+
+class TestStoreWarmStart:
+    def test_restart_serves_identical_bytes_without_remeasuring(
+        self, references, tmp_path
+    ):
+        path = tmp_path / "campaign.sqlite"
+        fingerprint = run_fingerprint(0.2)
+
+        with _LiveServer(
+            CampaignServer(
+                study=_quick_study(references),
+                store=path,
+                fingerprint=fingerprint,
+            )
+        ) as live:
+            status, _, first_body = live.measure(MEASURE_MCF_I7)
+            assert status == 200
+
+        # Fresh study, same store: the record must come back from the
+        # warm-started cache without a single engine execution.
+        misses_before = _cache_misses()
+        with _LiveServer(
+            CampaignServer(
+                study=_quick_study(references),
+                store=path,
+                fingerprint=fingerprint,
+            )
+        ) as live:
+            assert live.server.restored == 1
+            status, _, second_body = live.measure(MEASURE_MCF_I7)
+            assert status == 200
+        assert second_body == first_body
+        assert _cache_misses() - misses_before == 0
+
+    def test_mismatched_fingerprint_refuses_startup(self, references, tmp_path):
+        from repro.service.store import StoreError
+
+        path = tmp_path / "campaign.sqlite"
+        with ResultStore(path) as store:
+            store.check_fingerprint(run_fingerprint(1.0))
+        live = _LiveServer(
+            CampaignServer(
+                study=_quick_study(references),
+                store=path,
+                fingerprint=run_fingerprint(0.2),
+            )
+        )
+        with pytest.raises(StoreError, match="different run"):
+            with live:
+                pass  # pragma: no cover - start() must refuse
+
+
+class TestQueryEndpoints:
+    @pytest.fixture()
+    def live(self, references):
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            for spec in (
+                MEASURE_MCF_I7,
+                {"benchmark": "db", "processor": "i7_45"},
+                {"benchmark": "mcf", "processor": "atom_45"},
+                {"benchmark": "db", "processor": "atom_45"},
+            ):
+                status, _, _ = live.measure(spec)
+                assert status == 200
+            yield live
+
+    def test_results_lists_stored_records(self, live):
+        status, _, body = live.request("GET", "/results")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == 4
+        status, _, body = live.request("GET", "/results?benchmark=mcf")
+        assert {r["benchmark"] for r in json.loads(body)["results"]} == {"mcf"}
+
+    def test_pareto_flags_non_dominated_configurations(self, live):
+        status, _, body = live.request("GET", "/pareto")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["count"] == 2  # two configurations measured
+        efficient = [p for p in payload["points"] if p["efficient"]]
+        assert efficient  # a frontier always exists
+        for point in payload["points"]:
+            assert point["performance"] > 0
+            assert point["normalized_energy"] > 0
+
+    def test_healthz_reports_campaign_state(self, live):
+        status, _, body = live.request("GET", "/healthz")
+        assert status == 200
+        health = json.loads(body)
+        assert health["status"] == "ok"
+        assert health["completed"] == 4
+        assert health["store_records"] == 4
+
+    def test_metrics_exposition_includes_service_counters(self, live):
+        status, headers, body = live.request("GET", "/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert "repro_service_jobs_total" in text
+        assert "repro_store_writes_total" in text
+
+
+class TestProtocolErrors:
+    @pytest.fixture()
+    def live(self, references):
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            yield live
+
+    def test_unknown_route_is_404(self, live):
+        assert live.request("GET", "/nope")[0] == 404
+
+    def test_wrong_method_is_405(self, live):
+        assert live.request("GET", "/measure")[0] == 405
+
+    def test_unknown_benchmark_is_400(self, live):
+        status, _, body = live.measure({"benchmark": "nope", "processor": "i7_45"})
+        assert status == 400
+        assert "unknown benchmark" in json.loads(body)["error"]
+
+    def test_unknown_configuration_key_is_400(self, live):
+        status, _, _ = live.measure({"benchmark": "mcf", "config": "bogus"})
+        assert status == 400
+
+    def test_unsupported_knob_is_400(self, live):
+        status, _, body = live.measure(
+            {"benchmark": "mcf", "processor": "i7_45", "cores": 128}
+        )
+        assert status == 400
+        assert "unsupported configuration" in json.loads(body)["error"]
+
+    def test_malformed_json_body_is_400(self, live):
+        status, _, _ = live.request("POST", "/measure", None)
+        # no body at all parses as {}, which is missing 'benchmark'
+        assert status == 400
+
+    def test_corrupting_plan_is_400(self, live):
+        status, _, body = live.measure({**MEASURE_MCF_I7, "inject": "demo"})
+        assert status == 400
+        assert "fail-stop" in json.loads(body)["error"]
+
+    def test_mismatched_iterations_is_400(self, live):
+        status, _, body = live.measure({**MEASURE_MCF_I7, "iterations": 999})
+        assert status == 400
+        assert "fixed by the measurement protocol" in json.loads(body)["error"]
+
+    def test_matching_iterations_is_accepted(self, live, references):
+        planned = _quick_study(references).scaled_invocations(benchmark("mcf"))
+        status, _, _ = live.measure({**MEASURE_MCF_I7, "iterations": planned})
+        assert status == 200
+
+    def test_configuration_key_lookup_measures(self, live):
+        status, _, body = live.measure(
+            {"benchmark": "mcf", "config": "i7_45/4C2T@2.66+TB"}
+        )
+        assert status == 200
+        assert json.loads(body)["configuration"] == "i7_45/4C2T@2.66+TB"

@@ -134,3 +134,59 @@ class TestOtherCommands:
     def test_bad_command_exits(self):
         with pytest.raises(SystemExit):
             main(["explode"])
+
+
+class TestResumeFingerprint:
+    """--resume refuses checkpoints written under different run
+    parameters (exit code 4 + a hint), instead of mixing datasets."""
+
+    def _write_checkpoint(self, capsys, tmp_path, *flags) -> str:
+        checkpoint = str(tmp_path / "c.jsonl")
+        _run(
+            capsys, "--quick", "measure", "db", "atom_45",
+            "--checkpoint", checkpoint, *flags,
+        )
+        return checkpoint
+
+    def test_checkpoint_writes_fingerprint_sidecar(self, capsys, tmp_path):
+        from repro.core.study import read_checkpoint_meta
+
+        checkpoint = self._write_checkpoint(capsys, tmp_path)
+        meta = read_checkpoint_meta(checkpoint)
+        assert meta is not None
+        assert meta["invocation_scale"] == 0.2
+        assert meta["fault_plan"] is None
+
+    def test_plan_mismatch_exits_4_with_hint(self, capsys, tmp_path):
+        checkpoint = self._write_checkpoint(capsys, tmp_path, "--inject", "ci")
+        assert main(
+            ["--quick", "measure", "db", "atom_45", "--resume", checkpoint]
+        ) == 4
+        err = capsys.readouterr().err
+        assert "different run" in err
+        assert "hint:" in err
+
+    def test_scale_mismatch_exits_4(self, capsys, tmp_path):
+        checkpoint = self._write_checkpoint(capsys, tmp_path)
+        # Same command without --quick: invocation_scale 1.0 vs 0.2.
+        assert main(["measure", "db", "atom_45", "--resume", checkpoint]) == 4
+        assert "invocation_scale" in capsys.readouterr().err
+
+    def test_matching_fingerprint_resumes(self, capsys, tmp_path):
+        checkpoint = self._write_checkpoint(capsys, tmp_path, "--inject", "ci")
+        assert main(
+            ["--quick", "measure", "db", "atom_45",
+             "--resume", checkpoint, "--inject", "ci"]
+        ) == 0
+        assert "resumed 1 results" in capsys.readouterr().err
+
+    def test_checkpoint_without_sidecar_resumes_unchecked(
+        self, capsys, tmp_path
+    ):
+        from repro.core.study import checkpoint_meta_path
+
+        checkpoint = self._write_checkpoint(capsys, tmp_path)
+        checkpoint_meta_path(checkpoint).unlink()  # a pre-sidecar checkpoint
+        assert main(
+            ["--quick", "measure", "db", "atom_45", "--resume", checkpoint]
+        ) == 0

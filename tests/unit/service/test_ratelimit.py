@@ -1,0 +1,104 @@
+"""Unit tests for the per-client token-bucket rate limiter.
+
+Every test drives the bucket with an explicit fake clock, so admit /
+reject sequences are exact — no sleeps, no tolerance windows.
+"""
+
+import pytest
+
+from repro.service.ratelimit import ClientRateLimiter, TokenBucket
+
+
+class TestTokenBucket:
+    def test_burst_admits_then_rejects(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        assert [bucket.try_take(0.0)[0] for _ in range(3)] == [True] * 3
+        admitted, retry_after = bucket.try_take(0.0)
+        assert not admitted
+        assert retry_after == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        bucket = TokenBucket(rate=2.0, burst=1.0)
+        assert bucket.try_take(0.0)[0]
+        assert not bucket.try_take(0.0)[0]
+        # 2 tokens/s -> one full token exists after 0.5 s.
+        assert bucket.try_take(0.5)[0]
+
+    def test_retry_after_is_time_to_next_token(self):
+        bucket = TokenBucket(rate=0.5, burst=1.0)
+        bucket.try_take(0.0)
+        _, retry_after = bucket.try_take(1.0)
+        # 0.5 tokens refilled; half a token short at 0.5 tokens/s = 1 s.
+        assert retry_after == pytest.approx(1.0)
+
+    def test_never_accumulates_past_burst(self):
+        bucket = TokenBucket(rate=10.0, burst=2.0)
+        bucket.try_take(1000.0)  # long idle period
+        assert bucket.tokens == pytest.approx(1.0)  # burst cap, minus one
+
+    def test_clock_going_backwards_is_harmless(self):
+        bucket = TokenBucket(rate=1.0, burst=1.0)
+        assert bucket.try_take(10.0)[0]
+        admitted, _ = bucket.try_take(5.0)
+        assert not admitted  # no refill from negative elapsed time
+
+    @pytest.mark.parametrize("rate,burst", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.5)])
+    def test_rejects_degenerate_parameters(self, rate, burst):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, burst=burst)
+
+
+class TestClientRateLimiter:
+    def _limiter(self, rate, burst=1.0, max_clients=1024):
+        clock = {"now": 0.0}
+        limiter = ClientRateLimiter(
+            rate, burst=burst, max_clients=max_clients,
+            clock=lambda: clock["now"],
+        )
+        return limiter, clock
+
+    def test_disabled_limiter_admits_everything(self):
+        limiter, _ = self._limiter(rate=None)
+        assert not limiter.enabled
+        assert all(limiter.admit("anyone")[0] for _ in range(100))
+
+    def test_clients_have_independent_budgets(self):
+        limiter, _ = self._limiter(rate=1.0, burst=1.0)
+        assert limiter.admit("a")[0]
+        assert not limiter.admit("a")[0]
+        assert limiter.admit("b")[0]  # b's bucket is untouched by a
+
+    def test_retry_after_surfaces_from_bucket(self):
+        limiter, _ = self._limiter(rate=0.25, burst=1.0)
+        limiter.admit("a")
+        admitted, retry_after = limiter.admit("a")
+        assert not admitted
+        assert retry_after == pytest.approx(4.0)
+
+    def test_budget_refills_with_the_clock(self):
+        limiter, clock = self._limiter(rate=1.0, burst=1.0)
+        assert limiter.admit("a")[0]
+        assert not limiter.admit("a")[0]
+        clock["now"] = 1.0
+        assert limiter.admit("a")[0]
+
+    def test_client_table_is_lru_bounded(self):
+        limiter, _ = self._limiter(rate=1.0, burst=1.0, max_clients=2)
+        limiter.admit("a")  # a's bucket now empty
+        limiter.admit("b")
+        limiter.admit("c")  # evicts a (oldest)
+        # a returns with a fresh bucket: admitted despite its spent budget.
+        assert limiter.admit("a")[0]
+
+    def test_recent_use_refreshes_lru_position(self):
+        limiter, _ = self._limiter(rate=1.0, burst=2.0, max_clients=2)
+        limiter.admit("a")
+        limiter.admit("b")
+        limiter.admit("a")  # a is now most recent
+        limiter.admit("c")  # evicts b, not a
+        admitted, _ = limiter.admit("a")
+        assert not admitted  # a kept its (now spent) bucket
+
+    def test_rejects_degenerate_table_size(self):
+        with pytest.raises(ValueError):
+            ClientRateLimiter(1.0, max_clients=0)

@@ -1,0 +1,242 @@
+"""Unit tests for the coalescing, admission-controlled scheduler.
+
+The tests drive submit/dispatch ordering through ``asyncio.gather``:
+submissions all run before the dispatcher task gets the loop, so the
+coalesce / saturate decisions they exercise are deterministic.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.study import Study
+from repro.faults.plan import FaultPlan, FaultSpec, demo_plan, fail_stop_plan
+from repro.faults.retry import RetryPolicy
+from repro.hardware.catalog import ATOM_45, CORE2DUO_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.service.scheduler import (
+    CampaignScheduler,
+    Draining,
+    InvalidPlan,
+    MeasurementFailed,
+    Saturated,
+)
+from repro.service.store import ResultStore
+from repro.workloads.catalog import benchmark
+
+MCF = benchmark("mcf")
+DB = benchmark("db")
+I7 = stock(CORE_I7_45)
+ATOM = stock(ATOM_45)
+
+
+def _study(references, **kwargs):
+    return Study(references=references, invocation_scale=0.2, **kwargs)
+
+
+def _run(coro):
+    return asyncio.run(coro)
+
+
+class TestCoalescing:
+    def test_concurrent_identical_submits_share_one_job(self, references):
+        study = _study(references)
+        scheduler = CampaignScheduler(study)
+
+        async def main():
+            await scheduler.start()
+            results = await asyncio.gather(
+                *(scheduler.submit(MCF, I7) for _ in range(5))
+            )
+            await scheduler.drain()
+            return results
+
+        results = _run(main())
+        assert len({id(r) for r in results}) == 1  # literally the same result
+        assert scheduler.completed == 1
+        assert scheduler.coalesced == 4
+        assert study.cached_pairs == 1
+
+    def test_coalesced_result_matches_sequential_run(self, references):
+        study = _study(references)
+        scheduler = CampaignScheduler(study)
+
+        async def main():
+            await scheduler.start()
+            results = await asyncio.gather(
+                scheduler.submit(MCF, I7), scheduler.submit(MCF, I7)
+            )
+            await scheduler.drain()
+            return results
+
+        served = _run(main())
+        sequential = _study(references).run([I7], [MCF]).single()
+        for result in served:
+            assert json.dumps(result.as_record()) == json.dumps(
+                sequential.as_record()
+            )
+
+    def test_different_pairs_are_distinct_jobs(self, references):
+        scheduler = CampaignScheduler(_study(references))
+
+        async def main():
+            await scheduler.start()
+            a, b = await asyncio.gather(
+                scheduler.submit(MCF, I7), scheduler.submit(DB, ATOM)
+            )
+            await scheduler.drain()
+            return a, b
+
+        a, b = _run(main())
+        assert (a.benchmark_name, a.config_key) != (b.benchmark_name, b.config_key)
+        assert scheduler.completed == 2
+        assert scheduler.coalesced == 0
+
+    def test_plan_is_part_of_the_job_key(self, references):
+        """The same pair with and without a fault plan must not coalesce."""
+        scheduler = CampaignScheduler(_study(references))
+
+        async def main():
+            await scheduler.start()
+            await asyncio.gather(
+                scheduler.submit(MCF, I7),
+                scheduler.submit(MCF, I7, plan=fail_stop_plan()),
+            )
+            await scheduler.drain()
+
+        _run(main())
+        assert scheduler.completed == 2
+        assert scheduler.coalesced == 0
+
+
+class TestAdmissionControl:
+    def test_saturation_raises_with_retry_after(self, references):
+        scheduler = CampaignScheduler(_study(references), max_pending=1)
+
+        async def main():
+            await scheduler.start()
+            outcomes = await asyncio.gather(
+                scheduler.submit(MCF, I7),
+                scheduler.submit(DB, ATOM),
+                return_exceptions=True,
+            )
+            await scheduler.drain()
+            return outcomes
+
+        outcomes = _run(main())
+        errors = [o for o in outcomes if isinstance(o, Exception)]
+        assert len(errors) == 1
+        assert isinstance(errors[0], Saturated)
+        assert errors[0].retry_after_s >= 1.0
+        assert scheduler.rejected == 1
+
+    def test_coalescing_bypasses_saturation(self, references):
+        """An identical request rides the existing job even at capacity."""
+        scheduler = CampaignScheduler(_study(references), max_pending=1)
+
+        async def main():
+            await scheduler.start()
+            results = await asyncio.gather(
+                scheduler.submit(MCF, I7), scheduler.submit(MCF, I7)
+            )
+            await scheduler.drain()
+            return results
+
+        results = _run(main())
+        assert len(results) == 2
+        assert scheduler.rejected == 0
+
+    def test_corrupting_per_request_plan_is_refused(self, references):
+        scheduler = CampaignScheduler(_study(references))
+
+        async def main():
+            await scheduler.start()
+            with pytest.raises(InvalidPlan):
+                await scheduler.submit(MCF, I7, plan=demo_plan())
+            await scheduler.drain()
+
+        _run(main())
+
+    def test_submit_after_drain_raises_draining(self, references):
+        scheduler = CampaignScheduler(_study(references))
+
+        async def main():
+            await scheduler.start()
+            await scheduler.drain()
+            with pytest.raises(Draining):
+                await scheduler.submit(MCF, I7)
+
+        _run(main())
+
+
+class TestFailuresAndPersistence:
+    def test_exhausted_retries_surface_as_measurement_failed(self, references):
+        always_crash = FaultPlan(
+            specs=(FaultSpec(kind="invocation.crash", probability=1.0),),
+            seed="always",
+        )
+        study = _study(references, retry=RetryPolicy(max_retries=1))
+        scheduler = CampaignScheduler(study)
+
+        async def main():
+            await scheduler.start()
+            with pytest.raises(MeasurementFailed):
+                await scheduler.submit(MCF, I7, plan=always_crash)
+            await scheduler.drain()
+
+        _run(main())
+        assert scheduler.failed == 1
+        assert study.quarantined  # the pair is quarantined, not retried forever
+
+    def test_fail_stop_plan_reproduces_fault_free_bytes(self, references):
+        """Retried fail-stop faults must serve the fault-free record."""
+        faulted = CampaignScheduler(_study(references))
+
+        async def main():
+            await faulted.start()
+            result = await faulted.submit(DB, ATOM, plan=fail_stop_plan())
+            await faulted.drain()
+            return result
+
+        under_faults = _run(main())
+        clean = _study(references).measure(DB, ATOM)
+        assert json.dumps(under_faults.as_record()) == json.dumps(
+            clean.as_record()
+        )
+
+    def test_new_results_are_persisted_to_the_store(self, references):
+        store = ResultStore()
+        scheduler = CampaignScheduler(_study(references), store=store)
+
+        async def main():
+            await scheduler.start()
+            await scheduler.submit(MCF, I7)
+            return await scheduler.drain()
+
+        summary = _run(main())
+        assert len(store) == 1
+        assert store.get("mcf", I7.key) is not None
+        assert summary["store_records"] == 1
+
+    def test_batched_heterogeneous_jobs_all_resolve(self, references):
+        """Jobs queued while a batch measures dispatch together next cycle."""
+        scheduler = CampaignScheduler(_study(references))
+        pairs = [(MCF, I7), (DB, ATOM), (MCF, ATOM), (DB, stock(CORE2DUO_45))]
+
+        async def main():
+            await scheduler.start()
+            results = await asyncio.gather(
+                *(scheduler.submit(b, c) for b, c in pairs)
+            )
+            await scheduler.drain()
+            return results
+
+        results = _run(main())
+        assert [(r.benchmark_name, r.config_key) for r in results] == [
+            (b.name, c.key) for b, c in pairs
+        ]
+
+    def test_rejects_degenerate_queue_bound(self, references):
+        with pytest.raises(ValueError):
+            CampaignScheduler(_study(references), max_pending=0)

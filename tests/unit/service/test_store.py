@@ -1,0 +1,126 @@
+"""Unit tests for the SQLite result store."""
+
+import json
+
+import pytest
+
+from repro.core.study import Study, run_fingerprint
+from repro.faults.plan import fail_stop_plan
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.hardware.config import stock
+from repro.service.store import ResultStore, StoreError
+from repro.workloads.catalog import benchmark
+
+
+@pytest.fixture(scope="module")
+def results(study):
+    """Two real records from the shared quick study."""
+    return (
+        study.measure(benchmark("mcf"), stock(CORE_I7_45)),
+        study.measure(benchmark("db"), stock(ATOM_45)),
+    )
+
+
+class TestRoundTrip:
+    def test_get_returns_equal_record(self, results):
+        with ResultStore() as store:
+            store.put(results[0])
+            read = store.get(results[0].benchmark_name, results[0].config_key)
+            assert read == results[0]
+
+    def test_round_trip_preserves_response_bytes(self, results):
+        """The byte-identity guarantee's storage leg: a record read back
+        from SQLite re-serialises to the identical JSON."""
+        with ResultStore() as store:
+            store.put_many(results)
+            for result in results:
+                read = store.get(result.benchmark_name, result.config_key)
+                assert json.dumps(read.as_record()) == json.dumps(
+                    result.as_record()
+                )
+
+    def test_missing_pair_is_none(self):
+        with ResultStore() as store:
+            assert store.get("mcf", "nope") is None
+
+    def test_put_is_idempotent(self, results):
+        with ResultStore() as store:
+            assert store.put_many(results) == 2
+            assert store.put_many(results) == 2  # REPLACE, not duplicate
+            assert len(store) == 2
+
+    def test_contains_and_len(self, results):
+        with ResultStore() as store:
+            store.put(results[0])
+            assert (results[0].benchmark_name, results[0].config_key) in store
+            assert (results[1].benchmark_name, results[1].config_key) not in store
+            assert len(store) == 1
+
+
+class TestRecords:
+    def test_sorted_order_and_filters(self, results):
+        with ResultStore() as store:
+            store.put_many(reversed(results))
+            everything = store.records()
+            keys = [(r.benchmark_name, r.config_key) for r in everything]
+            assert keys == sorted(keys)
+            only_mcf = store.records(benchmark="mcf")
+            assert [r.benchmark_name for r in only_mcf] == ["mcf"]
+            nothing = store.records(benchmark="mcf", config="no-such-key")
+            assert nothing == []
+
+
+class TestPersistence:
+    def test_reopen_preserves_rows(self, tmp_path, results):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store:
+            store.put_many(results)
+        with ResultStore(path) as store:
+            assert len(store) == 2
+
+    def test_schema_version_mismatch_refuses(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store:
+            store.set_meta("schema_version", "999")
+        with pytest.raises(StoreError, match="schema"):
+            ResultStore(path)
+
+
+class TestFingerprint:
+    def test_fresh_store_adopts_fingerprint(self):
+        store = ResultStore()
+        store.check_fingerprint(run_fingerprint(0.2))
+        store.check_fingerprint(run_fingerprint(0.2))  # and keeps matching
+
+    def test_mismatched_scale_refuses(self):
+        store = ResultStore()
+        store.check_fingerprint(run_fingerprint(0.2))
+        with pytest.raises(StoreError, match="different run"):
+            store.check_fingerprint(run_fingerprint(1.0))
+
+    def test_mismatched_plan_refuses(self):
+        store = ResultStore()
+        store.check_fingerprint(run_fingerprint(0.2, plan=fail_stop_plan()))
+        with pytest.raises(StoreError, match="fault_plan"):
+            store.check_fingerprint(run_fingerprint(0.2))
+
+
+class TestWarmStart:
+    def test_warm_start_preloads_study_cache(self, references, results):
+        store = ResultStore()
+        store.put_many(results)
+        fresh = Study(references=references, invocation_scale=0.2)
+        assert store.warm_start(fresh) == 2
+        assert fresh.cached_pairs == 2
+        # Preloaded pairs answer without re-measuring, byte-identically.
+        again = fresh.measure(benchmark("mcf"), stock(CORE_I7_45))
+        assert json.dumps(again.as_record()) == json.dumps(
+            results[0].as_record()
+        )
+
+    def test_warm_start_skips_already_cached_pairs(self, references, results):
+        store = ResultStore()
+        store.put_many(results)
+        fresh = Study(references=references, invocation_scale=0.2)
+        store.warm_start(fresh)
+        assert store.warm_start(fresh) == 0

@@ -1,0 +1,221 @@
+#!/usr/bin/env python3
+"""End-to-end smoke test for ``repro serve`` — stdlib only.
+
+Boots the campaign server as a subprocess, fires ~50 mixed requests at
+it (a coalescing burst, distinct sweeps, one fault-armed plan, and a
+rate-limit hammer), SIGTERMs it, and restarts it against the same store.
+
+Asserts the service's operational contract:
+
+1. every admitted request gets 200 with the byte-identical record for
+   its (benchmark, configuration), including the coalesced burst and the
+   fault-armed request;
+2. the rate-limited client sees the expected 200/429 split, with a
+   ``Retry-After`` header on every 429;
+3. SIGTERM drains cleanly (exit 0, final health report on stderr);
+4. the restarted server warm-starts from the SQLite store and re-serves
+   the identical bytes without re-measuring.
+
+Usage: ``python tools/service_smoke.py`` (add ``--keep-store`` to leave
+the SQLite file behind for inspection).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import signal
+import subprocess
+import sys
+import tempfile
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+SERVE_ARGS = [
+    "--quick",
+    "serve",
+    "--port",
+    "0",
+    "--rate",
+    "0.001",  # effectively one request per client: 429s are deterministic
+    "--burst",
+    "1",
+]
+
+FAILURES: list[str] = []
+
+
+def check(condition: bool, message: str) -> None:
+    status = "ok" if condition else "FAIL"
+    print(f"  [{status}] {message}")
+    if not condition:
+        FAILURES.append(message)
+
+
+class Server:
+    """One ``repro serve`` subprocess."""
+
+    def __init__(self, store: Path) -> None:
+        self.proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", *SERVE_ARGS, "--store", str(store)],
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        self.banner = self.proc.stderr.readline().strip()
+        match = re.search(r"http://[\d.]+:(\d+)", self.banner)
+        if match is None:
+            self.proc.kill()
+            raise RuntimeError(f"no serving banner, got: {self.banner!r}")
+        self.port = int(match.group(1))
+
+    def request(self, method: str, path: str, body: dict | None = None,
+                client: str | None = None):
+        headers = {"X-Client-Id": client} if client else {}
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{self.port}{path}",
+            data=json.dumps(body).encode() if body is not None else None,
+            headers=headers,
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+
+    def measure(self, body: dict, client: str):
+        return self.request("POST", "/measure", body, client)
+
+    def terminate(self) -> tuple[int, str]:
+        self.proc.send_signal(signal.SIGTERM)
+        stderr = self.proc.stderr.read()
+        return self.proc.wait(timeout=120), stderr
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--keep-store", action="store_true")
+    args = parser.parse_args()
+
+    tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
+    store = tmp / "campaign.sqlite"
+
+    print("== first server: mixed load ==")
+    server = Server(store)
+    print(f"  {server.banner}")
+
+    # -- 1. coalescing burst: 20 identical POSTs, distinct clients -----------
+    burst_body = {"benchmark": "mcf", "processor": "i7_45"}
+    with ThreadPoolExecutor(max_workers=10) as pool:
+        burst = list(
+            pool.map(
+                lambda i: server.measure(burst_body, client=f"burst-{i}"),
+                range(20),
+            )
+        )
+    check(all(s == 200 for s, _, _ in burst), "coalescing burst: 20/20 got 200")
+    bodies = {body for _, _, body in burst}
+    check(len(bodies) == 1, "coalescing burst: all responses byte-identical")
+    mcf_i7_record = burst[0][2]
+
+    # -- 2. distinct sweep cells ----------------------------------------------
+    cells = [
+        {"benchmark": bench, "processor": proc}
+        for bench in ("db", "xalan", "fluidanimate", "lusearch", "mcf")
+        for proc in ("i7_45", "atom_45", "c2d_45", "c2q_65")
+    ]
+    with ThreadPoolExecutor(max_workers=8) as pool:
+        sweep = list(
+            pool.map(
+                lambda pair: server.measure(pair[1], client=f"sweep-{pair[0]}"),
+                enumerate(cells),
+            )
+        )
+    check(
+        all(s == 200 for s, _, _ in sweep),
+        f"distinct sweep: {len(cells)}/{len(cells)} got 200",
+    )
+
+    # -- 3. one fault-armed plan reproduces fault-free bytes ------------------
+    status, _, armed = server.measure(
+        {"benchmark": "db", "processor": "atom_45", "inject": "ci"},
+        client="faulty",
+    )
+    check(status == 200, "fault-armed (ci plan) request got 200")
+    status, _, clean = server.measure(
+        {"benchmark": "db", "processor": "atom_45"}, client="cleanly"
+    )
+    check(
+        status == 200 and armed == clean,
+        "fault-armed response is byte-identical to the fault-free one",
+    )
+
+    # -- 4. rate-limit hammer: one client, eight rapid requests ---------------
+    hammer = [
+        server.measure(burst_body, client="hammer") for _ in range(8)
+    ]
+    statuses = [s for s, _, _ in hammer]
+    check(
+        statuses.count(200) == 1 and statuses.count(429) == 7,
+        f"rate limit split: 1x200 + 7x429 (got {statuses})",
+    )
+    check(
+        all("Retry-After" in h for s, h, _ in hammer if s == 429),
+        "every 429 carries Retry-After",
+    )
+
+    # -- 5. protocol errors ---------------------------------------------------
+    check(server.request("GET", "/nope")[0] == 404, "unknown route is 404")
+    check(
+        server.measure({"benchmark": "bogus", "processor": "i7_45"}, "er")[0]
+        == 400,
+        "unknown benchmark is 400",
+    )
+
+    status, _, health = server.request("GET", "/healthz")
+    health = json.loads(health)
+    print(f"  health: {health}")
+    # 5 benchmarks x 4 processors = 20 unique cells (the burst and the
+    # fault-armed pair are among them), so the store holds exactly 20.
+    check(health["store_records"] == 20, "store holds every measured cell")
+
+    # -- 6. clean drain -------------------------------------------------------
+    code, stderr = server.terminate()
+    check(code == 0, f"SIGTERM drain exits 0 (got {code})")
+    check("drained:" in stderr, "final health report printed on drain")
+
+    # -- 7. warm restart ------------------------------------------------------
+    print("== second server: warm restart from the store ==")
+    server = Server(store)
+    print(f"  {server.banner}")
+    check("warm-started" in server.banner, "restart reports warm start")
+    status, _, health = server.request("GET", "/healthz")
+    restored = json.loads(health)["restored"]
+    check(restored == 20, f"restart restored every record (got {restored})")
+    status, _, again = server.measure(burst_body, client="afterlife")
+    check(
+        status == 200 and again == mcf_i7_record,
+        "restarted server serves byte-identical records from the store",
+    )
+    code, stderr = server.terminate()
+    check(code == 0 and "drained:" in stderr, "second drain is clean too")
+
+    if not args.keep_store:
+        store.unlink(missing_ok=True)
+        Path(str(store) + "-journal").unlink(missing_ok=True)
+        tmp.rmdir()
+
+    if FAILURES:
+        print(f"\nsmoke FAILED: {len(FAILURES)} assertion(s):")
+        for failure in FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("\nsmoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
