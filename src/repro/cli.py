@@ -10,12 +10,17 @@ Commands:
 * ``dataset <out.csv> [--configs stock|45nm|all]`` — export the run dataset;
 * ``figure <fig2|fig3|fig7c|fig11|fig12>`` — draw a character figure;
 * ``stats`` — run a small sweep and print the telemetry summary table;
-* ``serve [--host H --port P --store DB ...]`` — run the measurement
-  campaign as an HTTP service (see docs/service.md).
+* ``serve [--host H --port P --store DB --slo SPEC --event-log PATH
+  ...]`` — run the measurement campaign as an HTTP service (see
+  docs/service.md);
+* ``top [--url U --interval S --once]`` — live ops dashboard for a
+  running server (polls ``/healthz``, ``/slo``, ``/metrics``).
 
 Global telemetry flags (before the command):
 
 * ``--trace PATH.jsonl`` — export a span per experiment/measurement;
+* ``--trace-chrome PATH.json`` — also export the spans as a Chrome-trace
+  file loadable in ``chrome://tracing`` / Perfetto;
 * ``--metrics`` — dump Prometheus-style exposition after the command;
 * ``--progress`` — live rate/ETA line on stderr (composes with
   ``--quick``: totals reflect the scaled invocation counts);
@@ -92,6 +97,13 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH.jsonl",
         default=None,
         help="record tracing spans and export them as JSONL on exit",
+    )
+    parser.add_argument(
+        "--trace-chrome",
+        metavar="PATH.json",
+        default=None,
+        help="also export recorded spans as a Chrome-trace / Perfetto "
+        "JSON file on exit (implies tracing)",
     )
     parser.add_argument(
         "--metrics",
@@ -239,6 +251,46 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="retries per invocation before quarantine (default 3)",
     )
+    serve_cmd.add_argument(
+        "--slo",
+        metavar="SPEC",
+        default=None,
+        help="declare SLO targets for GET /slo, e.g. "
+        "'p99=250ms,avail=99.9' (latency clauses take us/ms/s suffixes)",
+    )
+    serve_cmd.add_argument(
+        "--event-log",
+        metavar="PATH.jsonl",
+        default=None,
+        help="append one JSON line per served /measure correlating "
+        "request id, trace id, and store row",
+    )
+    serve_cmd.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable per-request tracing (GET /trace will hold no data)",
+    )
+
+    top_cmd = commands.add_parser(
+        "top", help="live ops dashboard for a running campaign server"
+    )
+    top_cmd.add_argument(
+        "--url",
+        default="http://127.0.0.1:8080",
+        help="base URL of the server to watch (default %(default)s)",
+    )
+    top_cmd.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="S",
+        help="seconds between refreshes (default 2)",
+    )
+    top_cmd.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single frame and exit (no screen clearing)",
+    )
     return parser
 
 
@@ -360,6 +412,9 @@ def _serve(
             jobs=jobs,
             rate=args.rate,
             burst=args.burst,
+            slo=args.slo,
+            event_log=args.event_log,
+            trace_requests=not args.no_trace,
         )
     except (ValueError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -376,17 +431,28 @@ def _serve(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    if args.command == "top":
+        # A pure HTTP client: no study, no tracer, no checkpoint state.
+        from repro.obs.top import run_top
+
+        return run_top(
+            args.url,
+            interval_s=args.interval,
+            iterations=1 if args.once else None,
+            clear=not args.once,
+        )
     tracer = default_tracer()
-    if args.trace:
-        # Fail before the (possibly long) run, not at export time.
-        parent = Path(args.trace).resolve().parent
-        if not parent.is_dir():
-            print(
-                f"error: --trace directory does not exist: {parent}",
-                file=sys.stderr,
-            )
-            return 2
-        tracer.enable()
+    for trace_arg in (args.trace, args.trace_chrome):
+        if trace_arg:
+            # Fail before the (possibly long) run, not at export time.
+            parent = Path(trace_arg).resolve().parent
+            if not parent.is_dir():
+                print(
+                    f"error: trace directory does not exist: {parent}",
+                    file=sys.stderr,
+                )
+                return 2
+            tracer.enable()
     progress = ProgressReporter(stream=sys.stderr) if args.progress else None
 
     # Robustness options exist only on measure/dataset/serve; default
@@ -516,6 +582,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             progress.finish()
         if args.trace:
             tracer.export_jsonl(args.trace)
+        if args.trace_chrome:
+            tracer.export_chrome_trace(args.trace_chrome)
     if args.metrics:
         print(render_prometheus(), end="")
     return 0

@@ -38,6 +38,7 @@ paths work.
 from __future__ import annotations
 
 import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
@@ -75,6 +76,9 @@ class WorkerSetup:
     instrument: bool
     metrics_enabled: bool
     fault_plan: Optional[FaultPlan]
+    #: Arm the worker's tracer so each pair ships its span subtree home
+    #: (defaulted so pickled setups from older callers keep working).
+    trace_enabled: bool = False
 
 
 @dataclass(frozen=True)
@@ -91,6 +95,9 @@ class PairOutcome:
     retries: int
     remeasures: int
     failure_events: tuple[str, ...]
+    #: The pair's finished span subtree (``Span.as_dict`` payloads, in
+    #: the worker's finish order) when tracing is armed, else empty.
+    spans: tuple[dict, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -113,8 +120,19 @@ def _init_worker(setup: WorkerSetup) -> None:
     from repro.core.study import Study
     from repro.faults import injector
     from repro.obs.metrics import set_enabled
+    from repro.obs.tracing import default_tracer
 
     set_enabled(setup.metrics_enabled)
+    # A forked child inherits the parent tracer's ID base and finished
+    # spans; reseed into a fresh ID range and drop the inherited spans so
+    # worker span IDs can never alias the coordinator's (or a sibling's).
+    tracer = default_tracer()
+    tracer.reseed()
+    tracer.clear()
+    if setup.trace_enabled:
+        tracer.enable()
+    else:
+        tracer.disable()
     # The parent's fault state at dispatch time wins over anything a
     # forked child inherited (or a spawned child's clean slate).
     if setup.fault_plan is not None:
@@ -142,12 +160,15 @@ def _measure_chunk(
     from repro.core.study import Study  # noqa: F401 - ensures module import
     from repro.faults.errors import MeasurementError
     from repro.obs.metrics import default_registry, snapshot_delta
+    from repro.obs.tracing import default_tracer
 
     study = _WORKER_STUDY
     if study is None:  # pragma: no cover - initializer always ran
         raise RuntimeError("worker study was never initialised")
     registry = default_registry()
     before = registry.snapshot()
+    tracer = default_tracer()
+    tracing = tracer.is_enabled
     stats = study._stats
     outcomes: list[PairOutcome] = []
     invocations = 0
@@ -155,13 +176,24 @@ def _measure_chunk(
         retries_0 = stats.retries
         remeasures_0 = stats.remeasures
         events_0 = len(stats.events)
+        spans_0 = len(tracer.finished)
         result: Optional[RunResult] = None
         failure: Optional[str] = None
-        try:
-            result = study.measure(benchmark, config)
-            invocations += result.invocations
-        except MeasurementError as exc:
-            failure = str(exc)
+        # Each pair's spans nest under one executor.chunk root; the
+        # parent adopts that subtree (in sweep order) when it merges.
+        with tracer.span(
+            "executor.chunk",
+            chunk=chunk_index,
+            pair=index,
+            pid=os.getpid(),
+            benchmark=benchmark.name,
+            config=config.key,
+        ):
+            try:
+                result = study.measure(benchmark, config)
+                invocations += result.invocations
+            except MeasurementError as exc:
+                failure = str(exc)
         outcomes.append(
             PairOutcome(
                 index=index,
@@ -170,6 +202,11 @@ def _measure_chunk(
                 retries=stats.retries - retries_0,
                 remeasures=stats.remeasures - remeasures_0,
                 failure_events=tuple(stats.events[events_0:]),
+                spans=tuple(
+                    span.as_dict() for span in tracer.finished[spans_0:]
+                )
+                if tracing
+                else (),
             )
         )
     delta = snapshot_delta(registry.snapshot(), before)
@@ -232,6 +269,7 @@ class SweepPool:
             and mine.instrument == setup.instrument
             and mine.metrics_enabled == setup.metrics_enabled
             and mine.fault_plan == setup.fault_plan
+            and mine.trace_enabled == setup.trace_enabled
         )
 
     def close(self) -> None:

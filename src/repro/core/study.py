@@ -63,7 +63,7 @@ from repro.hardware.processor import ProcessorSpec
 from repro.measurement.meter import PowerMeter, meter_for
 from repro.obs.metrics import default_registry, enabled as _metrics_enabled
 from repro.obs.progress import ProgressReporter
-from repro.obs.tracing import default_tracer
+from repro.obs.tracing import current_span_id, default_tracer
 from repro.runtime.methodology import MeasurementProtocol, protocol_for
 from repro.workloads.benchmark import Benchmark
 from repro.workloads.catalog import BENCHMARKS, BENCHMARKS_BY_NAME
@@ -519,27 +519,33 @@ class Study:
         invocations = self.scaled_invocations(benchmark)
         meter = self._meter(config.spec)
 
-        if _faults_active() is None:
-            # Nothing can fail without an armed injector, so the retry
-            # loop degenerates: run all invocations through the engine,
-            # then push the whole batch through the logger/calibration
-            # pipeline in one vectorised pass.  Bit-identical to the
-            # per-invocation path (the batch transfer is elementwise and
-            # the code mean is an exact integer sum).
-            times, powers = self._measure_batched(
-                benchmark, config, invocations, protocol, meter
-            )
-        else:
-            times = []
-            powers = []
-            for invocation in range(invocations):
-                seconds, watts = self._metered_invocation(
-                    benchmark, config, invocation, protocol, meter
+        with default_tracer().span(
+            "engine.execute",
+            benchmark=benchmark.name,
+            config=config.key,
+            invocations=invocations,
+        ):
+            if _faults_active() is None:
+                # Nothing can fail without an armed injector, so the retry
+                # loop degenerates: run all invocations through the engine,
+                # then push the whole batch through the logger/calibration
+                # pipeline in one vectorised pass.  Bit-identical to the
+                # per-invocation path (the batch transfer is elementwise and
+                # the code mean is an exact integer sum).
+                times, powers = self._measure_batched(
+                    benchmark, config, invocations, protocol, meter
                 )
-                times.append(seconds)
-                powers.append(watts)
-                if self._progress is not None:
-                    self._progress.advance()
+            else:
+                times = []
+                powers = []
+                for invocation in range(invocations):
+                    seconds, watts = self._metered_invocation(
+                        benchmark, config, invocation, protocol, meter
+                    )
+                    times.append(seconds)
+                    powers.append(watts)
+                    if self._progress is not None:
+                        self._progress.advance()
         if self._instrument:
             _INVOCATIONS.inc(invocations)
 
@@ -811,6 +817,7 @@ class Study:
             instrument=self._instrument,
             metrics_enabled=_metrics_enabled(),
             fault_plan=injector.plan if injector is not None else None,
+            trace_enabled=default_tracer().is_enabled,
         )
         indexed = tuple(
             (benchmark, config, index)
@@ -868,6 +875,18 @@ class Study:
             for chunk in chunks
             for outcome in chunk.outcomes
         }
+        tracer = default_tracer()
+        if tracer.is_enabled:
+            # Adopt worker span subtrees in sweep (pending) order — the
+            # span analogue of the metric-delta merge above: IDs are
+            # re-issued from the parent tracer in a deterministic order,
+            # so the merged trace is identical at any worker count and
+            # every subtree hangs off the span that dispatched the sweep.
+            parent = current_span_id()
+            for index in range(len(pending)):
+                outcome = outcome_by_index.get(index)
+                if outcome is not None and outcome.spans:
+                    tracer.adopt(outcome.spans, parent_id=parent)
         pending_index = {
             (benchmark, config.key): index
             for index, (benchmark, config) in enumerate(pending)

@@ -1,15 +1,23 @@
 """Observability for the reproduction campaign itself.
 
 The paper's credibility rests on knowing exactly what was run and how
-often; this package gives the *reproduction* the same property.  Four
+often; this package gives the *reproduction* the same property.  Seven
 stdlib-only components:
 
 * :mod:`repro.obs.metrics` — counters/gauges/histograms in a process-wide
   registry, with a global enable switch for overhead baselines;
 * :mod:`repro.obs.tracing` — hierarchical spans (contextvars-parented)
-  with JSONL export, disabled by default;
-* :mod:`repro.obs.export` — Prometheus text exposition and an ASCII
-  summary table;
+  with globally unique IDs, cross-process adoption, JSONL and
+  Chrome-trace export, disabled by default;
+* :mod:`repro.obs.distributed` — W3C ``traceparent`` propagation, span
+  tree assembly, and the bounded per-request trace archive the campaign
+  server serves from ``GET /trace/<id>``;
+* :mod:`repro.obs.slo` — latency/availability SLO targets, quantile
+  summaries, and error-budget burn reporting;
+* :mod:`repro.obs.export` — Prometheus text exposition (and parsing) and
+  an ASCII summary table with p50/p95/p99 columns;
+* :mod:`repro.obs.top` — the live ``repro top`` ops dashboard polling a
+  running server's ``/healthz`` + ``/slo`` + ``/metrics``;
 * :mod:`repro.obs.progress` — an opt-in rate/ETA line for long sweeps.
 
 The hot path (engine, study, meter, experiment registry) is instrumented
@@ -18,7 +26,19 @@ surfaces it, and ``repro stats`` prints the summary table after a small
 demonstration sweep.
 """
 
-from repro.obs.export import render_prometheus, render_summary
+from repro.obs.distributed import (
+    TraceContext,
+    TraceStore,
+    build_span_tree,
+    format_traceparent,
+    orphan_parent_ids,
+    parse_traceparent,
+)
+from repro.obs.export import (
+    parse_prometheus,
+    render_prometheus,
+    render_summary,
+)
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -29,7 +49,16 @@ from repro.obs.metrics import (
     set_enabled,
 )
 from repro.obs.progress import ProgressReporter
-from repro.obs.tracing import Span, Tracer, default_tracer, read_jsonl, root_span
+from repro.obs.slo import SloConfig, parse_slo, slo_report
+from repro.obs.tracing import (
+    Span,
+    Tracer,
+    chrome_trace_events,
+    default_tracer,
+    read_jsonl,
+    root_span,
+    write_chrome_trace,
+)
 
 __all__ = [
     "Counter",
@@ -37,14 +66,26 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ProgressReporter",
+    "SloConfig",
     "Span",
     "Timer",
+    "TraceContext",
+    "TraceStore",
     "Tracer",
+    "build_span_tree",
+    "chrome_trace_events",
     "default_registry",
     "default_tracer",
+    "format_traceparent",
+    "orphan_parent_ids",
+    "parse_prometheus",
+    "parse_slo",
+    "parse_traceparent",
     "read_jsonl",
     "render_prometheus",
     "render_summary",
     "root_span",
     "set_enabled",
+    "slo_report",
+    "write_chrome_trace",
 ]

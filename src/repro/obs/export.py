@@ -33,10 +33,36 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape per the exposition spec: backslash first, then quote and
+    newline — label values like benchmark names are user-controlled and
+    would otherwise break the line format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def _unescape_label_value(value: str) -> str:
+    out: list[str] = []
+    chars = iter(value)
+    for ch in chars:
+        if ch != "\\":
+            out.append(ch)
+            continue
+        escaped = next(chars, "")
+        out.append({"n": "\n", '"': '"', "\\": "\\"}.get(escaped, "\\" + escaped))
+    return "".join(out)
+
+
 def _format_labels(labels: Mapping[str, str]) -> str:
     if not labels:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(labels.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(labels.items())
+    )
     return "{" + inner + "}"
 
 
@@ -86,6 +112,9 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
                         "value": round(sample.sum, 6),
                         "count": sample.count,
                         "mean": round(sample.mean, 6),
+                        "p50": round(sample.quantile(0.50), 6),
+                        "p95": round(sample.quantile(0.95), 6),
+                        "p99": round(sample.quantile(0.99), 6),
                     }
                 )
             elif isinstance(sample, (Counter, Gauge)):
@@ -99,8 +128,68 @@ def render_summary(registry: Optional[MetricsRegistry] = None) -> str:
                         "value": round(sample.value, 6),
                         "count": None,
                         "mean": None,
+                        "p50": None,
+                        "p95": None,
+                        "p99": None,
                     }
                 )
     if not rows:
         return "(no telemetry recorded)"
     return render_rows(rows, max_width=44)
+
+
+def _parse_label_block(block: str) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    index = 0
+    while index < len(block):
+        eq = block.index("=", index)
+        name = block[index:eq].strip().lstrip(",").strip()
+        if block[eq + 1] != '"':
+            raise ValueError(f"unquoted label value in {block!r}")
+        cursor = eq + 2
+        raw: list[str] = []
+        while True:
+            ch = block[cursor]
+            if ch == "\\":
+                raw.append(block[cursor:cursor + 2])
+                cursor += 2
+            elif ch == '"':
+                cursor += 1
+                break
+            else:
+                raw.append(ch)
+                cursor += 1
+        labels[name] = _unescape_label_value("".join(raw))
+        index = cursor
+    return labels
+
+
+def parse_prometheus(
+    text: str,
+) -> dict[str, dict[tuple[tuple[str, str], ...], float]]:
+    """Parse text exposition back into ``{name: {label_key: value}}``.
+
+    The inverse of :func:`render_prometheus` for its own output (sample
+    lines with optional escaped labels; comments skipped) — enough for
+    ``repro top`` to consume a ``/metrics`` scrape without a Prometheus
+    stack.  Label keys are the sorted ``(name, value)`` tuples used by
+    :meth:`~repro.obs.metrics._Instrument.labels`; unlabelled samples use
+    the empty tuple.
+    """
+    samples: dict[str, dict[tuple[tuple[str, str], ...], float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "{" in line:
+            name, rest = line.split("{", 1)
+            block, value_part = rest.rsplit("}", 1)
+            labels = _parse_label_block(block)
+        else:
+            name, value_part = line.split(None, 1)
+            labels = {}
+        value_text = value_part.strip()
+        value = math.inf if value_text == "+Inf" else float(value_text)
+        key = tuple(sorted(labels.items()))
+        samples.setdefault(name.strip(), {})[key] = value
+    return samples

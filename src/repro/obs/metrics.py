@@ -269,6 +269,31 @@ class Histogram(_Instrument):
     def mean(self) -> float:
         return self._sum / self._count if self._count else 0.0
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile from the bucket counts.
+
+        Prometheus ``histogram_quantile`` semantics: the target rank is
+        located in the cumulative bucket counts and linearly interpolated
+        within its bucket (from the previous bound, or 0 below the first
+        bucket).  Ranks landing in the ``+Inf`` bucket clamp to the
+        highest finite bound — the estimate is bucket-resolution, not
+        exact.  Returns 0.0 when no observations have been recorded.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self._count == 0:
+            return 0.0
+        rank = q * self._count
+        cumulative = 0
+        for index, bound in enumerate(self.buckets):
+            in_bucket = self._counts[index]
+            if in_bucket and cumulative + in_bucket >= rank:
+                lower = self.buckets[index - 1] if index else 0.0
+                fraction = max(0.0, rank - cumulative) / in_bucket
+                return lower + (bound - lower) * fraction
+            cumulative += in_bucket
+        return self.buckets[-1]
+
     def bucket_counts(self) -> tuple[tuple[float, int], ...]:
         """Cumulative (upper_bound, count) pairs, ending at ``+Inf``."""
         cumulative = 0

@@ -38,7 +38,8 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
-from typing import Optional, Sequence
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
 
 from repro.core.results import RunResult
 from repro.core.study import Study
@@ -46,6 +47,8 @@ from repro.faults.injector import injected
 from repro.faults.plan import FaultPlan
 from repro.hardware.config import Configuration
 from repro.obs.metrics import default_registry
+from repro.obs.slo import observe_stage
+from repro.obs.tracing import default_tracer, wall_time_of
 from repro.service.store import ResultStore
 from repro.workloads.benchmark import Benchmark
 
@@ -75,9 +78,35 @@ _BATCH_SECONDS = _REGISTRY.histogram(
     "repro_service_batch_seconds",
     "Wall-clock seconds per measurement batch",
 )
+_JOB_SECONDS = _REGISTRY.histogram(
+    "repro_service_job_seconds",
+    "Amortised wall seconds per job (batch seconds / batch pairs)",
+)
+
+#: Quantile-informed Retry-After needs this many job-seconds samples
+#: before the p95 estimate is trusted over the EWMA.
+_RETRY_AFTER_MIN_SAMPLES = 8
 
 #: Job identity: what must match for two requests to share one result.
 JobKey = tuple[str, str, Optional[str]]
+
+
+@dataclass
+class _Job:
+    """One queued measurement plus the trace context that submitted it.
+
+    ``submit_span_id`` is the request's ``service.submit`` span (None
+    when tracing is disarmed); the dispatch loop parents each job's
+    ``service.schedule`` span under it, so the queue wait and the batch
+    work land inside the right request's trace even though they happen
+    on other tasks/threads where contextvars cannot carry the parent."""
+
+    key: JobKey
+    benchmark: Benchmark
+    config: Configuration
+    plan: Optional[FaultPlan]
+    submit_span_id: Optional[int] = None
+    enqueued_perf: float = 0.0
 
 
 class SchedulerError(RuntimeError):
@@ -130,7 +159,8 @@ class CampaignScheduler:
         self._max_pending = max_pending
         self._jobs = jobs
         self._inflight: dict[JobKey, asyncio.Future] = {}
-        self._queue: list[tuple[JobKey, Benchmark, Configuration, Optional[FaultPlan]]] = []
+        self._jobs_meta: dict[JobKey, _Job] = {}
+        self._queue: list[_Job] = []
         self._wake: Optional[asyncio.Event] = None
         self._dispatcher: Optional[asyncio.Task] = None
         self._worker = ThreadPoolExecutor(
@@ -158,8 +188,30 @@ class CampaignScheduler:
         return self._draining
 
     def retry_after_s(self) -> float:
-        """Suggested client back-off: the queue's estimated drain time."""
-        return max(1.0, round(self.pending * self._job_seconds, 1))
+        """Suggested client back-off: the queue's estimated drain time.
+
+        Per-job service time comes from the p95 of the observed
+        job-seconds histogram once enough samples exist — a tail-aware
+        estimate, so clients backing off under load do not return while a
+        slow batch is still draining — and falls back to the EWMA while
+        the histogram is cold."""
+        per_job = self._job_seconds
+        if _JOB_SECONDS.count >= _RETRY_AFTER_MIN_SAMPLES:
+            per_job = max(per_job, _JOB_SECONDS.quantile(0.95))
+        return max(1.0, round(self.pending * per_job, 1))
+
+    def inflight_snapshot(self) -> list[dict[str, object]]:
+        """The in-flight job table (queued + measuring) for the ops view."""
+        now = time.perf_counter()
+        return [
+            {
+                "benchmark": job.benchmark.name,
+                "config": job.config.key,
+                "plan": job.key[2],
+                "age_s": round(now - job.enqueued_perf, 3),
+            }
+            for job in self._jobs_meta.values()
+        ]
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -224,30 +276,46 @@ class CampaignScheduler:
         """
         if self._wake is None:
             raise RuntimeError("scheduler not started")
-        if self._draining:
-            raise Draining("server is draining; no new measurements")
-        if plan is not None and not plan.fail_stop_only:
-            raise InvalidPlan(
-                "per-request fault plans must be fail-stop only "
-                "(corrupting faults would poison the shared result cache)"
+        # The submit span stays open across the await, so its duration is
+        # the request's full scheduling + measurement wait; refusals
+        # (Draining/Saturated/InvalidPlan) close it via the exception.
+        with default_tracer().span(
+            "service.submit", benchmark=benchmark.name, config=config.key
+        ) as span:
+            if self._draining:
+                raise Draining("server is draining; no new measurements")
+            if plan is not None and not plan.fail_stop_only:
+                raise InvalidPlan(
+                    "per-request fault plans must be fail-stop only "
+                    "(corrupting faults would poison the shared result cache)"
+                )
+            key = self.job_key(benchmark, config, plan)
+            future = self._inflight.get(key)
+            if future is not None:
+                self.coalesced += 1
+                _COALESCED.inc()
+                span.set_attribute("coalesced", True)
+                return await future
+            if len(self._inflight) >= self._max_pending:
+                self.rejected += 1
+                _REJECTED.labels(reason="saturated").inc()
+                raise Saturated(len(self._inflight), self.retry_after_s())
+            future = asyncio.get_running_loop().create_future()
+            self._inflight[key] = future
+            job = _Job(
+                key=key,
+                benchmark=benchmark,
+                config=config,
+                plan=plan,
+                submit_span_id=span.span_id,
+                enqueued_perf=time.perf_counter(),
             )
-        key = self.job_key(benchmark, config, plan)
-        future = self._inflight.get(key)
-        if future is not None:
-            self.coalesced += 1
-            _COALESCED.inc()
+            self._jobs_meta[key] = job
+            self._queue.append(job)
+            _JOBS.inc()
+            _PENDING.set(len(self._inflight))
+            self._wake.set()
             return await future
-        if len(self._inflight) >= self._max_pending:
-            self.rejected += 1
-            _REJECTED.labels(reason="saturated").inc()
-            raise Saturated(len(self._inflight), self.retry_after_s())
-        future = asyncio.get_running_loop().create_future()
-        self._inflight[key] = future
-        self._queue.append((key, benchmark, config, plan))
-        _JOBS.inc()
-        _PENDING.set(len(self._inflight))
-        self._wake.set()
-        return await future
 
     # -- dispatch --------------------------------------------------------------
 
@@ -266,41 +334,76 @@ class CampaignScheduler:
             batch, self._queue = self._queue, []
             # One sweep per distinct plan: the injector is process-global,
             # so a batch's plan must be uniform while it measures.
-            groups: dict[Optional[str], list] = {}
+            groups: dict[Optional[str], list[_Job]] = {}
             for job in batch:
-                groups.setdefault(job[0][2], []).append(job)
+                groups.setdefault(job.key[2], []).append(job)
             for jobs in groups.values():
-                plan = jobs[0][3]
-                pairs = [(benchmark, config) for _, benchmark, config, _ in jobs]
+                plan = jobs[0].plan
+                pairs = [(job.benchmark, job.config) for job in jobs]
+                schedule_spans = self._record_schedule_spans(jobs)
                 started = time.perf_counter()
                 try:
                     results, failures = await loop.run_in_executor(
-                        self._worker, self._measure_batch, plan, pairs
+                        self._worker,
+                        self._measure_batch,
+                        plan,
+                        pairs,
+                        schedule_spans,
                     )
                 except BaseException as exc:  # noqa: BLE001 - fan the error out
-                    for key, *_ in jobs:
-                        self._resolve(key, error=exc)
+                    for job in jobs:
+                        self._resolve(job.key, error=exc)
                     continue
                 elapsed = time.perf_counter() - started
                 _BATCH_PAIRS.observe(len(pairs))
                 _BATCH_SECONDS.observe(elapsed)
+                observe_stage("batch", elapsed)
+                _JOB_SECONDS.observe(elapsed / max(1, len(pairs)))
                 self._job_seconds = 0.7 * self._job_seconds + 0.3 * (
                     elapsed / max(1, len(pairs))
                 )
-                for key, benchmark, config, _ in jobs:
-                    pair_key = (benchmark.name, config.key)
+                for job in jobs:
+                    pair_key = (job.benchmark.name, job.config.key)
                     if pair_key in results:
-                        self._resolve(key, result=results[pair_key])
+                        self._resolve(job.key, result=results[pair_key])
                     else:
                         self.failed += 1
                         self._resolve(
-                            key,
+                            job.key,
                             error=MeasurementFailed(
                                 failures.get(
                                     pair_key, "measurement produced no result"
                                 )
                             ),
                         )
+
+    def _record_schedule_spans(
+        self, jobs: Sequence[_Job]
+    ) -> dict[tuple[str, str], int]:
+        """One finished ``service.schedule`` span per job, covering its
+        queue wait (enqueue → dispatch), parented under the job's submit
+        span.  Returns ``{(benchmark, config): schedule span id}`` so the
+        measurement thread can hang the batch's work under each owner."""
+        tracer = default_tracer()
+        spans: dict[tuple[str, str], int] = {}
+        now = time.perf_counter()
+        for job in jobs:
+            wait_s = max(0.0, now - job.enqueued_perf)
+            observe_stage("schedule", wait_s)
+            if not tracer.is_enabled or job.submit_span_id is None:
+                continue
+            span = tracer.record_span(
+                "service.schedule",
+                parent_id=job.submit_span_id,
+                start_unix_s=wall_time_of(job.enqueued_perf),
+                duration_s=wait_s,
+                benchmark=job.benchmark.name,
+                config=job.config.key,
+                batch_pairs=len(jobs),
+            )
+            if span.span_id is not None:
+                spans[(job.benchmark.name, job.config.key)] = span.span_id
+        return spans
 
     def _resolve(
         self,
@@ -309,6 +412,7 @@ class CampaignScheduler:
         error: Optional[BaseException] = None,
     ) -> None:
         future = self._inflight.pop(key, None)
+        self._jobs_meta.pop(key, None)
         _PENDING.set(len(self._inflight))
         if future is None or future.done():
             return
@@ -322,6 +426,7 @@ class CampaignScheduler:
         self,
         plan: Optional[FaultPlan],
         pairs: Sequence[tuple[Benchmark, Configuration]],
+        schedule_spans: Optional[Mapping[tuple[str, str], int]] = None,
     ) -> tuple[dict[tuple[str, str], RunResult], dict[tuple[str, str], str]]:
         """Measure one batch on the measurement thread.
 
@@ -329,20 +434,48 @@ class CampaignScheduler:
         config key).  Newly measured records are persisted to the store
         before the event loop sees them, so a crash after a response was
         sent can never lose the record behind it.
+
+        ``run_in_executor`` does not carry contextvars onto this thread,
+        so the batch span takes an explicit parent: the first job's
+        schedule span.  Afterwards each pair's measurement subtree is
+        re-homed under *its own* job's schedule span, so every request's
+        trace contains exactly its own measurement work.
         """
-        scope = injected(plan) if plan is not None else nullcontext()
-        with scope:
-            outcome = self._study.run_pairs(pairs, jobs=self._jobs)
-        results = {
-            (r.benchmark_name, r.config_key): r for r in outcome
-        }
-        if self._store is not None:
-            fresh = [
-                result
-                for key, result in results.items()
-                if key not in self._store
-            ]
-            self._store.put_many(fresh)
+        tracer = default_tracer()
+        schedule_spans = schedule_spans or {}
+        batch_parent = next(iter(schedule_spans.values()), None)
+        with tracer.child_span(
+            "service.batch",
+            parent_id=batch_parent,
+            pairs=len(pairs),
+            plan=plan.fingerprint if plan is not None else None,
+        ) as batch_span:
+            scope = injected(plan) if plan is not None else nullcontext()
+            with scope:
+                outcome = self._study.run_pairs(pairs, jobs=self._jobs)
+            results = {
+                (r.benchmark_name, r.config_key): r for r in outcome
+            }
+            if self._store is not None:
+                fresh = [
+                    result
+                    for key, result in results.items()
+                    if key not in self._store
+                ]
+                store_started = time.perf_counter()
+                with tracer.span("store.put", records=len(fresh)):
+                    self._store.put_many(fresh)
+                observe_stage("store", time.perf_counter() - store_started)
+        if batch_span.span_id is not None and schedule_spans:
+            tracer.reparent_children(
+                batch_span.span_id,
+                lambda span: schedule_spans.get(
+                    (
+                        span.attributes.get("benchmark"),
+                        span.attributes.get("config"),
+                    )
+                ),
+            )
         failures: dict[tuple[str, str], str] = {}
         if outcome.health is not None:
             for entry in outcome.health.quarantined:

@@ -10,9 +10,20 @@ campaign as an API:
 ``GET /results``          stored records, filterable by benchmark / config
 ``GET /pareto``           energy/performance points per stored configuration,
                           with the Pareto-efficient subset flagged
-``GET /healthz``          liveness, queue depth, and campaign health
+``GET /healthz``          liveness, queue depth, in-flight jobs, campaign health
 ``GET /metrics``          Prometheus exposition of the whole registry
+``GET /slo``              latency quantiles, availability, error-budget burn
+``GET /trace/<id>``       the span tree of one served ``/measure`` request
+                          (``<id>`` is the response's ``X-Request-Id``)
 ========================  ====================================================
+
+Requests are traced end to end: each ``POST /measure`` runs under an
+``http.request`` root span (continuing the caller's trace when a W3C
+``traceparent`` header is sent), spans cover admission → coalesce →
+schedule → batch → worker chunks → engine → store, and the finished
+tree is archived per request for ``GET /trace/<request_id>``.  Tracing
+rides *alongside* measurement — it never touches the measured floats, so
+traced responses remain byte-identical to sequential ``Study.run``.
 
 The interesting work lives below the routes: requests funnel into a
 :class:`~repro.service.scheduler.CampaignScheduler` that coalesces
@@ -35,7 +46,7 @@ import json
 import signal
 import sys
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Mapping, Optional, TextIO, Union
 from urllib.parse import parse_qsl, urlsplit
@@ -47,8 +58,26 @@ from repro.faults.plan import FaultPlan, demo_plan, fail_stop_plan
 from repro.hardware.catalog import processor
 from repro.hardware.config import UnsupportedConfigurationError, stock
 from repro.hardware.configurations import all_configurations
+from repro.obs.distributed import (
+    REQUEST_ID_HEADER,
+    TraceStore,
+    build_span_tree,
+    format_traceparent,
+    new_request_id,
+    new_trace_id,
+    orphan_parent_ids,
+    parse_traceparent,
+)
 from repro.obs.export import PROMETHEUS_CONTENT_TYPE, render_prometheus
 from repro.obs.metrics import default_registry
+from repro.obs.slo import (
+    REQUEST_SECONDS,
+    SloConfig,
+    observe_stage,
+    parse_slo,
+    slo_report,
+)
+from repro.obs.tracing import default_tracer
 from repro.service.ratelimit import ClientRateLimiter
 from repro.service.scheduler import (
     CampaignScheduler,
@@ -157,6 +186,15 @@ class CampaignServer:
     raises :class:`~repro.service.store.StoreError` at startup rather
     than serving mixed data.  ``rate``/``burst`` configure per-client
     token buckets on ``POST /measure`` (``rate=None`` disables).
+
+    ``slo`` declares targets for ``GET /slo`` — an :class:`SloConfig`
+    or a spec string like ``"p99=250ms,avail=99.9"`` (``ValueError`` on
+    a malformed spec).  ``event_log`` appends one JSON line per served
+    ``/measure`` correlating request id ↔ trace id ↔ store row; a path
+    is opened (and closed at shutdown) by the server, an open text
+    stream is borrowed.  ``trace_requests=False`` turns request tracing
+    off entirely; ``trace_capacity`` bounds how many finished request
+    traces ``GET /trace/<id>`` can still serve.
     """
 
     def __init__(
@@ -170,6 +208,10 @@ class CampaignServer:
         jobs: Optional[Union[int, str]] = None,
         rate: Optional[float] = None,
         burst: float = 5.0,
+        slo: Union[SloConfig, str, None] = None,
+        event_log: Union[Path, str, TextIO, None] = None,
+        trace_requests: bool = True,
+        trace_capacity: int = 256,
     ) -> None:
         self._study = study if study is not None else Study()
         self._host = host
@@ -188,6 +230,16 @@ class CampaignServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._started_monotonic = 0.0
         self.restored = 0  # records warm-started from the store
+        self._slo = parse_slo(slo) if isinstance(slo, str) else slo
+        self._trace_requests = trace_requests
+        self._traces = TraceStore(capacity=trace_capacity)
+        self._tracer_was_enabled = False
+        if event_log is None or hasattr(event_log, "write"):
+            self._event_log: Optional[TextIO] = event_log  # type: ignore[assignment]
+            self._owns_event_log = False
+        else:
+            self._event_log = open(event_log, "a", encoding="utf-8")
+            self._owns_event_log = True
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -212,6 +264,10 @@ class CampaignServer:
         """Bind the store, warm-start the study, and open the socket."""
         if self._fingerprint is not None:
             self._store.check_fingerprint(self._fingerprint)
+        if self._trace_requests:
+            tracer = default_tracer()
+            self._tracer_was_enabled = tracer.is_enabled
+            tracer.enable()
         self.restored = self._store.warm_start(self._study)
         await self._scheduler.start()
         self._server = await asyncio.start_server(
@@ -229,6 +285,11 @@ class CampaignServer:
             self._server = None
         if self._owns_store:
             self._store.close()
+        if self._trace_requests and not self._tracer_was_enabled:
+            default_tracer().disable()
+        if self._owns_event_log and self._event_log is not None:
+            self._event_log.close()
+            self._event_log = None
         return {"restored": self.restored, **summary}
 
     # -- connection handling ---------------------------------------------------
@@ -294,43 +355,162 @@ class CampaignServer:
 
     # -- routing ---------------------------------------------------------------
 
-    async def handle(self, request: Request) -> Response:
-        """Route one request; usable directly in tests (no sockets)."""
+    def _route(self, request: Request):
+        """Resolve a path to its canonical route name and handler.
+
+        The canonical name is what metric labels carry: ``/trace/<id>``
+        collapses to ``/trace`` so the label space stays bounded no
+        matter how many request ids clients probe."""
         routes = {
-            "/measure": ("POST", self._measure),
+            "/measure": ("POST", self._measure_route),
             "/results": ("GET", self._results),
             "/pareto": ("GET", self._pareto),
             "/healthz": ("GET", self._healthz),
             "/metrics": ("GET", self._metrics),
+            "/slo": ("GET", self._slo_route),
+            "/trace": ("GET", self._trace),
         }
-        entry = routes.get(request.path)
+        if request.path == "/trace" or request.path.startswith("/trace/"):
+            return "/trace", routes["/trace"]
+        return request.path, routes.get(request.path)
+
+    async def handle(self, request: Request) -> Response:
+        """Route one request; usable directly in tests (no sockets)."""
+        route, entry = self._route(request)
+        started = time.perf_counter()
         if entry is None:
             response = _error(404, f"no route {request.path}")
         elif request.method != entry[0]:
             response = _error(405, f"{request.path} accepts {entry[0]} only")
         else:
             response = await entry[1](request)
-        _REQUESTS.labels(
-            route=request.path if entry is not None else "unknown",
-            status=str(response.status),
-        ).inc()
+        label = route if entry is not None else "unknown"
+        REQUEST_SECONDS.labels(route=label).observe(
+            time.perf_counter() - started
+        )
+        _REQUESTS.labels(route=label, status=str(response.status)).inc()
         return response
 
     # -- routes ----------------------------------------------------------------
 
-    async def _measure(self, request: Request) -> Response:
-        admitted, retry_after_s = self._limiter.admit(request.client_id)
-        if not admitted:
-            _RATELIMITED.inc()
-            return _error(
-                429,
-                "rate limit exceeded",
-                retry_after_s=round(retry_after_s, 3),
+    async def _measure_route(self, request: Request) -> Response:
+        """``POST /measure``: the traced wrapper around :meth:`_measure`.
+
+        Every measure request gets a request id and (when tracing is
+        armed) an ``http.request`` root span.  A valid W3C
+        ``traceparent`` header continues the caller's trace; a malformed
+        one is ignored per spec (fresh trace, never an error).  After
+        the response is built, the finished span subtree is archived
+        under the request id for ``GET /trace/<id>`` and pruned from the
+        live tracer so a long-running server's span list stays bounded.
+        """
+        request_id = new_request_id()
+        tracer = default_tracer()
+        ctx: dict[str, object] = {}
+        if not (self._trace_requests and tracer.is_enabled):
+            response = await self._measure(request, ctx)
+            self._log_event(request, response, request_id, None, ctx)
+            return replace(
+                response,
+                headers=response.headers + ((REQUEST_ID_HEADER, request_id),),
             )
+        remote = parse_traceparent(request.headers.get("traceparent", ""))
+        trace_id = remote.trace_id if remote is not None else new_trace_id()
+        with tracer.span(
+            "http.request",
+            method=request.method,
+            route="/measure",
+            request_id=request_id,
+            trace_id=trace_id,
+            remote_parent=remote.span_id if remote is not None else None,
+        ) as root:
+            response = await self._measure(request, ctx)
+            root.set_attribute("status", response.status)
+        # Archive the Span objects as-is: dict conversion happens on the
+        # cold /trace read path, keeping it off the per-request one.
+        spans = tracer.detach_subtree(root.span_id)
+        self._traces.put(
+            request_id,
+            {
+                "request_id": request_id,
+                "trace_id": trace_id,
+                "spans": spans,
+            },
+        )
+        self._log_event(request, response, request_id, trace_id, ctx)
+        return replace(
+            response,
+            headers=response.headers
+            + (
+                (REQUEST_ID_HEADER, request_id),
+                ("traceparent", format_traceparent(trace_id, root.span_id)),
+            ),
+        )
+
+    def _log_event(
+        self,
+        request: Request,
+        response: Response,
+        request_id: str,
+        trace_id: Optional[str],
+        ctx: Optional[dict[str, object]],
+    ) -> None:
+        """One structured JSON line per served measure request: the join
+        key between the HTTP exchange (request id), the span tree (trace
+        id), and the durable record (store rowid)."""
+        if self._event_log is None:
+            return
+        ctx = ctx or {}
+        bench = ctx.get("benchmark")
+        config = ctx.get("config")
+        event = {
+            "ts": round(time.time(), 6),
+            "event": "measure",
+            "request_id": request_id,
+            "trace_id": trace_id,
+            "status": response.status,
+            "benchmark": bench,
+            "config": config,
+            "plan": ctx.get("plan"),
+            "store_row": (
+                self._store.rowid(str(bench), str(config))
+                if response.status == 200 and bench and config
+                else None
+            ),
+        }
         try:
-            bench, config, plan = self._parse_measure_body(request.body)
-        except BadRequest as exc:
-            return _error(400, str(exc))
+            self._event_log.write(json.dumps(event) + "\n")
+            self._event_log.flush()
+        except (OSError, ValueError):  # pragma: no cover - log never fatal
+            pass
+
+    async def _measure(
+        self, request: Request, ctx: Optional[dict[str, object]] = None
+    ) -> Response:
+        tracer = default_tracer()
+        admission_started = time.perf_counter()
+        with tracer.span("service.admission", client=request.client_id):
+            try:
+                admitted, retry_after_s = self._limiter.admit(request.client_id)
+                if not admitted:
+                    _RATELIMITED.inc()
+                    return _error(
+                        429,
+                        "rate limit exceeded",
+                        retry_after_s=round(retry_after_s, 3),
+                    )
+                try:
+                    bench, config, plan = self._parse_measure_body(request.body)
+                except BadRequest as exc:
+                    return _error(400, str(exc))
+            finally:
+                observe_stage(
+                    "admission", time.perf_counter() - admission_started
+                )
+        if ctx is not None:
+            ctx["benchmark"] = bench.name
+            ctx["config"] = config.key
+            ctx["plan"] = plan.fingerprint if plan is not None else None
         try:
             result = await self._scheduler.submit(bench, config, plan)
         except Draining:
@@ -489,6 +669,7 @@ class CampaignServer:
             "quarantined": len(self._study.quarantined),
             "store_records": len(self._store),
             "restored": self.restored,
+            "in_flight": self._scheduler.inflight_snapshot(),
         }
 
     async def _metrics(self, request: Request) -> Response:
@@ -496,6 +677,37 @@ class CampaignServer:
             200,
             render_prometheus().encode("utf-8"),
             content_type=PROMETHEUS_CONTENT_TYPE,
+        )
+
+    async def _slo_route(self, request: Request) -> Response:
+        """Latency quantiles, availability, and error-budget burn against
+        the declared targets (or observations only when none are set)."""
+        return _json_response(200, slo_report(self._slo))
+
+    async def _trace(self, request: Request) -> Response:
+        """``GET /trace`` lists archived request ids; ``GET /trace/<id>``
+        serves one request's span tree (404 for unknown/evicted ids)."""
+        if request.path in ("/trace", "/trace/"):
+            ids = self._traces.request_ids()
+            return _json_response(
+                200, {"count": len(ids), "request_ids": ids}
+            )
+        request_id = request.path[len("/trace/"):]
+        payload = self._traces.get(request_id)
+        if payload is None:
+            return _error(404, f"no trace for request id {request_id!r}")
+        spans = [span.as_dict() for span in payload["spans"]]
+        orphans = sorted(orphan_parent_ids(spans))
+        return _json_response(
+            200,
+            {
+                "request_id": payload["request_id"],
+                "trace_id": payload["trace_id"],
+                "span_count": len(spans),
+                "orphans": orphans,
+                "root": build_span_tree(spans),
+                "spans": spans,
+            },
         )
 
 

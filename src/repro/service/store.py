@@ -155,6 +155,20 @@ class ResultStore:
         _READS.inc()
         return RunResult.from_record(json.loads(row[0]))
 
+    def rowid(self, benchmark: str, config: str) -> Optional[int]:
+        """The SQLite rowid behind one stored pair, or ``None``.
+
+        The durable correlation handle the server's event log records
+        next to the request and trace IDs: a row outlives the process,
+        so an audit can join a served response back to the exact stored
+        record that produced it."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT rowid FROM results WHERE benchmark = ? AND config = ?",
+                (benchmark, config),
+            ).fetchone()
+        return None if row is None else int(row[0])
+
     def records(
         self,
         benchmark: Optional[str] = None,

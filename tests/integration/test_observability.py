@@ -1,11 +1,14 @@
 """Integration: telemetry across the engine -> meter -> study pipeline."""
 
+import json
+
 import pytest
 
 from repro.cli import main
 from repro.core.study import Study
 from repro.hardware.catalog import ATOM_45, CORE_I7_45
 from repro.hardware.config import stock
+from repro.obs.distributed import build_span_tree, orphan_parent_ids
 from repro.obs.metrics import default_registry
 from repro.obs.tracing import default_tracer, read_jsonl
 from repro.workloads.catalog import benchmark
@@ -63,6 +66,88 @@ class TestStudySpanTree:
         assert len(tracer.by_name("study.measure")) == 4
         assert len(tracer.finished) == spans_before
         assert _counter_value("repro_study_cache_hits_total") - hits_before == 4
+
+
+class TestParallelSpanMerge:
+    """The tentpole contract: a traced parallel sweep yields one rooted
+    span tree covering coordinator and workers, with the measurement
+    records byte-identical to the traced sequential run."""
+
+    BENCHES = ("db", "mcf")
+
+    def _run(self, references, tracer, jobs):
+        tracer.clear()
+        study = Study(references=references, invocation_scale=0.05)
+        benches = tuple(benchmark(name) for name in self.BENCHES)
+        configs = (stock(ATOM_45), stock(CORE_I7_45))
+        with tracer.span("campaign") as root:
+            results = study.run(configs, benches, jobs=jobs)
+        spans = [span.as_dict() for span in tracer.finished]
+        records = json.dumps([r.as_record() for r in results]).encode()
+        return root, spans, records
+
+    @pytest.mark.parametrize("jobs", (1, 2, 4))
+    def test_single_rooted_tree_and_byte_identity(
+        self, references, tracer, jobs
+    ):
+        _, seq_spans, seq_records = self._run(references, tracer, None)
+        root, spans, records = self._run(references, tracer, jobs)
+
+        # Byte-identity survives tracing at any worker count.
+        assert records == seq_records
+
+        # Every span hangs off the campaign root: zero orphans, one root.
+        assert orphan_parent_ids(spans) == set()
+        tree = build_span_tree(spans)
+        assert tree is not None and tree["name"] == "campaign"
+
+        # Worker subtrees arrived: one executor.chunk per pair, each
+        # wrapping its measurement, adopted in sweep order.
+        chunks = [s for s in spans if s["name"] == "executor.chunk"]
+        assert len(chunks) == 4
+        sweep_order = [
+            (s["attributes"]["benchmark"], s["attributes"]["config"])
+            for s in sorted(chunks, key=lambda s: s["attributes"]["pair"])
+        ]
+        seq_order = [
+            (s["attributes"]["benchmark"], s["attributes"]["config"])
+            for s in seq_spans
+            if s["name"] == "study.measure"
+        ]
+        assert sweep_order == seq_order
+        measures = [s for s in spans if s["name"] == "study.measure"]
+        chunk_ids = {s["span_id"] for s in chunks}
+        assert all(s["parent_id"] in chunk_ids for s in measures)
+
+    def test_span_ids_never_collide_across_workers(self, references, tracer):
+        """Regression for the per-process count(1) ID scheme: spans
+        shipped home by 4 workers must not alias each other or the
+        coordinator."""
+        _, spans, _ = self._run(references, tracer, 4)
+        ids = [s["span_id"] for s in spans]
+        assert len(ids) == len(set(ids))
+
+    def test_jsonl_and_chrome_exports_agree(
+        self, references, tracer, tmp_path
+    ):
+        from repro.obs.tracing import chrome_trace_events
+
+        self._run(references, tracer, 2)
+        jsonl = tracer.export_jsonl(tmp_path / "spans.jsonl")
+        chrome = tracer.export_chrome_trace(tmp_path / "trace.json")
+
+        from_jsonl = read_jsonl(jsonl)
+        events = json.loads(chrome.read_text(encoding="utf-8"))["traceEvents"]
+        assert len(events) == len(from_jsonl)
+        # Exact nesting rides in args, not just time containment.
+        by_id = {e["args"]["span_id"]: e for e in events}
+        for record in from_jsonl:
+            event = by_id[record["span_id"]]
+            assert event["name"] == record["name"]
+            assert event["args"]["parent_id"] == record["parent_id"]
+        assert chrome_trace_events(from_jsonl) == chrome_trace_events(
+            tracer.finished
+        )
 
 
 class TestPipelineCounters:

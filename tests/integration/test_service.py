@@ -341,3 +341,246 @@ class TestProtocolErrors:
         )
         assert status == 200
         assert json.loads(body)["configuration"] == "i7_45/4C2T@2.66+TB"
+
+
+def _header(headers: dict, name: str) -> str | None:
+    for key, value in headers.items():
+        if key.lower() == name.lower():
+            return value
+    return None
+
+
+def _span_names(trace: dict) -> set:
+    return {span["name"] for span in trace["spans"]}
+
+
+class TestRequestTracing:
+    """The tentpole acceptance tests: every served /measure has a span
+    tree covering coordinator and worker processes with zero orphans,
+    and tracing never perturbs the response bytes."""
+
+    REQUESTS = (
+        {"benchmark": "mcf", "processor": "i7_45"},
+        {"benchmark": "db", "processor": "atom_45"},
+        {"benchmark": "db", "processor": "c2d_45"},
+    )
+
+    def _trace_of(self, live, headers):
+        request_id = _header(headers, "X-Request-Id")
+        assert request_id, "measure responses must carry X-Request-Id"
+        status, _, body = live.request("GET", f"/trace/{request_id}")
+        assert status == 200
+        return json.loads(body)
+
+    @pytest.mark.parametrize("jobs", (1, 2, 4))
+    def test_span_tree_spans_all_layers_with_zero_orphans(
+        self, references, jobs
+    ):
+        server = CampaignServer(
+            study=_quick_study(references, reuse_pool=True), jobs=jobs
+        )
+        reference_study = _quick_study(references)
+        with _LiveServer(server) as live:
+            with ThreadPoolExecutor(max_workers=3) as pool:
+                outcomes = list(pool.map(live.measure, self.REQUESTS))
+            for spec, (status, headers, body) in zip(self.REQUESTS, outcomes):
+                assert status == 200
+                # Byte identity holds with tracing armed at any jobs count.
+                expected = reference_study.measure(
+                    benchmark(spec["benchmark"]),
+                    stock(
+                        {
+                            "i7_45": CORE_I7_45,
+                            "atom_45": ATOM_45,
+                            "c2d_45": CORE2DUO_45,
+                        }[spec["processor"]]
+                    ),
+                )
+                assert body == json.dumps(expected.as_record()).encode()
+
+                trace = self._trace_of(live, headers)
+                assert trace["orphans"] == []
+                assert trace["span_count"] >= 4
+                root = trace["root"]
+                assert root is not None and root["name"] == "http.request"
+                assert root["attributes"]["status"] == 200
+                names = _span_names(trace)
+                assert {
+                    "service.admission",
+                    "service.submit",
+                    "service.schedule",
+                } <= names
+                # The request's own measurement landed in its tree, and
+                # only its own: every measurement span carries this
+                # request's benchmark.
+                measured = [
+                    span["attributes"]["benchmark"]
+                    for span in trace["spans"]
+                    if span["name"] in ("study.measure", "executor.chunk")
+                ]
+                assert measured
+                assert set(measured) == {spec["benchmark"]}
+
+    def test_coalesced_requests_get_their_own_rooted_traces(self, references):
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            misses_before = _cache_misses()
+            with ThreadPoolExecutor(max_workers=6) as pool:
+                outcomes = list(
+                    pool.map(lambda _: live.measure(MEASURE_MCF_I7), range(6))
+                )
+            assert [status for status, _, _ in outcomes] == [200] * 6
+            # Coalescing still holds with tracing armed: one real
+            # measurement answered every concurrently in-flight request.
+            assert _cache_misses() - misses_before == 1
+            request_ids = set()
+            owners = 0
+            for _, headers, _ in outcomes:
+                trace = self._trace_of(live, headers)
+                request_ids.add(trace["request_id"])
+                assert trace["orphans"] == []
+                assert trace["root"]["name"] == "http.request"
+                if "service.batch" in _span_names(trace):
+                    owners += 1
+            assert len(request_ids) == 6  # one trace per request
+            # At least one request owned a batch; stragglers arriving
+            # after it resolved run their own (cache-hit) batches.
+            assert owners >= 1
+
+    def test_traceparent_continues_the_callers_trace(self, references):
+        trace_id = "ab" * 16
+        header = f"00-{trace_id}-{'cd' * 8}-01"
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            status, headers, _ = live.measure(
+                MEASURE_MCF_I7, {"traceparent": header}
+            )
+            assert status == 200
+            response_parent = _header(headers, "traceparent")
+            assert response_parent.startswith(f"00-{trace_id}-")
+            assert response_parent != header  # a fresh span, same trace
+            trace = self._trace_of(live, headers)
+            assert trace["trace_id"] == trace_id
+            assert trace["root"]["attributes"]["remote_parent"] == "cd" * 8
+
+    def test_malformed_traceparent_starts_a_fresh_trace(self, references):
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            status, headers, _ = live.measure(
+                MEASURE_MCF_I7, {"traceparent": "not-a-traceparent"}
+            )
+            assert status == 200  # ignored per spec, never an error
+            trace = self._trace_of(live, headers)
+            assert trace["trace_id"] != "not-a-traceparent"
+            assert trace["root"]["attributes"]["remote_parent"] is None
+
+    def test_trace_listing_and_unknown_id(self, references):
+        with _LiveServer(CampaignServer(study=_quick_study(references))) as live:
+            _, headers, _ = live.measure(MEASURE_MCF_I7)
+            request_id = _header(headers, "X-Request-Id")
+            status, _, body = live.request("GET", "/trace")
+            assert status == 200
+            assert request_id in json.loads(body)["request_ids"]
+            assert live.request("GET", "/trace/deadbeef")[0] == 404
+
+    def test_no_trace_mode_serves_untraced_measurements(self, references):
+        server = CampaignServer(
+            study=_quick_study(references), trace_requests=False
+        )
+        with _LiveServer(server) as live:
+            status, headers, _ = live.measure(MEASURE_MCF_I7)
+            assert status == 200
+            request_id = _header(headers, "X-Request-Id")
+            assert request_id  # correlation id survives without tracing
+            assert _header(headers, "traceparent") is None
+            assert live.request("GET", f"/trace/{request_id}")[0] == 404
+
+
+class TestSloEndpoint:
+    def test_slo_report_reflects_traffic_and_targets(self, references):
+        server = CampaignServer(
+            study=_quick_study(references), slo="p99=10s,avail=99"
+        )
+        with _LiveServer(server) as live:
+            for _ in range(3):
+                assert live.measure(MEASURE_MCF_I7)[0] == 200
+            assert live.measure({"benchmark": "nope"})[0] == 400
+            status, _, body = live.request("GET", "/slo")
+        assert status == 200
+        report = json.loads(body)
+        assert report["config"]["latency"] == {"p99": 10.0}
+        assert report["config"]["availability"] == pytest.approx(0.99)
+        measure_route = report["routes"]["/measure"]
+        assert measure_route["count"] >= 4
+        assert measure_route["p99_s"] > 0
+        assert measure_route["p50_s"] <= measure_route["p99_s"]
+        stages = report["stages"]
+        assert {"admission", "schedule", "batch"} <= set(stages)
+        availability = report["availability"]
+        assert availability["requests"] >= 4
+        assert availability["target"] == pytest.approx(0.99)
+        assert "error_budget" in availability
+        assert availability["error_budget"]["consumed"] >= 0.0
+
+    def test_bad_slo_spec_is_rejected_at_construction(self, references):
+        with pytest.raises(ValueError, match="p42"):
+            CampaignServer(study=_quick_study(references), slo="p42=1ms")
+
+
+class TestEventLog:
+    def test_events_correlate_request_trace_and_store_row(
+        self, references, tmp_path
+    ):
+        log_path = tmp_path / "events.jsonl"
+        store_path = tmp_path / "campaign.sqlite"
+        server = CampaignServer(
+            study=_quick_study(references),
+            store=store_path,
+            event_log=log_path,
+        )
+        with _LiveServer(server) as live:
+            status, headers, _ = live.measure(MEASURE_MCF_I7)
+            assert status == 200
+            request_id = _header(headers, "X-Request-Id")
+            assert live.measure({"benchmark": "nope"})[0] == 400
+
+        events = [
+            json.loads(line)
+            for line in log_path.read_text().splitlines()
+        ]
+        assert len(events) == 2
+        ok, bad = events
+        assert ok["event"] == "measure"
+        assert ok["request_id"] == request_id
+        assert ok["status"] == 200
+        assert ok["benchmark"] == "mcf"
+        assert isinstance(ok["store_row"], int)  # joins to the SQLite row
+        assert ok["trace_id"]
+        with ResultStore(store_path) as store:
+            assert store.rowid("mcf", ok["config"]) == ok["store_row"]
+        assert bad["status"] == 400
+        assert bad["store_row"] is None
+        assert bad["benchmark"] is None  # the body never parsed
+
+
+class TestOpsView:
+    def test_top_renders_a_frame_from_a_live_server(self, references, capsys):
+        import io
+
+        from repro.obs.top import run_top
+
+        with _LiveServer(
+            CampaignServer(
+                study=_quick_study(references), slo="p99=10s,avail=99"
+            )
+        ) as live:
+            assert live.measure(MEASURE_MCF_I7)[0] == 200
+            stream = io.StringIO()
+            code = run_top(
+                f"http://127.0.0.1:{live.server.port}",
+                interval_s=0.0,
+                iterations=1,
+                stream=stream,
+            )
+        assert code == 0
+        frame = stream.getvalue()
+        assert "repro top" in frame
+        assert "cache" in frame
+        assert "error budget" in frame

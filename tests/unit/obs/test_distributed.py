@@ -1,0 +1,102 @@
+"""Unit tests for W3C traceparent propagation and span-tree assembly."""
+
+import pytest
+
+from repro.obs.distributed import (
+    TraceContext,
+    TraceStore,
+    build_span_tree,
+    format_traceparent,
+    new_request_id,
+    new_trace_id,
+    orphan_parent_ids,
+    parse_traceparent,
+    span_id_hex,
+)
+
+
+class TestTraceparent:
+    def test_round_trip(self):
+        trace_id = new_trace_id()
+        header = format_traceparent(trace_id, 0xABCD)
+        context = parse_traceparent(header)
+        assert context == TraceContext(trace_id, span_id_hex(0xABCD), True)
+        assert context.header() == header
+
+    def test_unsampled_flag(self):
+        header = format_traceparent("ab" * 16, 1, sampled=False)
+        assert header.endswith("-00")
+        assert parse_traceparent(header).sampled is False
+
+    @pytest.mark.parametrize(
+        "header",
+        [
+            None,
+            "",
+            "garbage",
+            "00-short-abcd-01",
+            "00-" + "0" * 32 + "-" + "ab" * 8 + "-01",  # zero trace id
+            "00-" + "ab" * 16 + "-" + "0" * 16 + "-01",  # zero span id
+            "ff-" + "ab" * 16 + "-" + "ab" * 8 + "-01",  # forbidden version
+            "00-" + "AB" * 16,  # truncated
+        ],
+    )
+    def test_malformed_headers_are_ignored_not_errors(self, header):
+        """The W3C rule: a bad traceparent starts a fresh trace."""
+        assert parse_traceparent(header) is None
+
+    def test_case_and_whitespace_are_tolerated(self):
+        header = "  00-" + "AB" * 16 + "-" + "CD" * 8 + "-01  "
+        context = parse_traceparent(header)
+        assert context is not None
+        assert context.trace_id == "ab" * 16
+
+    def test_ids_are_fresh_and_well_formed(self):
+        assert new_trace_id() != new_trace_id()
+        assert len(new_trace_id()) == 32
+        assert len(new_request_id()) == 16
+        assert span_id_hex(1) == "0" * 15 + "1"
+
+
+class TestSpanTree:
+    def _spans(self):
+        return [
+            {"name": "leaf", "span_id": 3, "parent_id": 2},
+            {"name": "mid", "span_id": 2, "parent_id": 1},
+            {"name": "root", "span_id": 1, "parent_id": None},
+        ]
+
+    def test_single_rooted_tree(self):
+        spans = self._spans()
+        assert orphan_parent_ids(spans) == set()
+        tree = build_span_tree(spans)
+        assert tree["name"] == "root"
+        assert tree["children"][0]["name"] == "mid"
+        assert tree["children"][0]["children"][0]["name"] == "leaf"
+
+    def test_orphans_are_reported(self):
+        spans = [{"name": "lost", "span_id": 5, "parent_id": 99}]
+        assert orphan_parent_ids(spans) == {99}
+
+    def test_multiple_roots_yield_no_tree(self):
+        spans = [
+            {"name": "a", "span_id": 1, "parent_id": None},
+            {"name": "b", "span_id": 2, "parent_id": None},
+        ]
+        assert build_span_tree(spans) is None
+        assert build_span_tree([]) is None
+
+
+class TestTraceStore:
+    def test_put_get_and_eviction(self):
+        store = TraceStore(capacity=2)
+        for i in range(3):
+            store.put(f"r{i}", {"spans": [i]})
+        assert len(store) == 2
+        assert store.get("r0") is None  # evicted, oldest first
+        assert store.get("r2") == {"spans": [2]}
+        assert store.request_ids() == ["r1", "r2"]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            TraceStore(capacity=0)

@@ -1,6 +1,14 @@
 """Unit tests for the exposition and summary-table exporters."""
 
-from repro.obs.export import render_prometheus, render_summary
+import pytest
+
+from repro.obs.export import (
+    _escape_label_value,
+    _unescape_label_value,
+    parse_prometheus,
+    render_prometheus,
+    render_summary,
+)
 from repro.obs.metrics import MetricsRegistry
 
 
@@ -50,6 +58,56 @@ class TestPrometheusExposition:
         assert render_prometheus(_populated_registry()).endswith("\n")
 
 
+class TestLabelEscaping:
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            'say "hi"',
+            "back\\slash",
+            "line\nbreak",
+            '\\"mixed\n\\',
+            "plain",
+        ],
+    )
+    def test_escape_round_trips(self, raw):
+        assert _unescape_label_value(_escape_label_value(raw)) == raw
+
+    def test_exposition_escapes_label_values(self):
+        """Regression: raw quotes/backslashes/newlines in a label value
+        used to corrupt the exposition line."""
+        registry = MetricsRegistry()
+        counter = registry.counter("errors_total", "errs")
+        counter.labels(detail='fault "x" at C:\\dir\nline2').inc()
+        text = render_prometheus(registry)
+        line = next(
+            l for l in text.splitlines() if l.startswith("errors_total{")
+        )
+        assert "\n" not in line  # newline stayed escaped
+        assert '\\"x\\"' in line
+        assert "\\\\dir" in line
+        assert "\\n" in line
+        # And it parses back to the original value's sample.
+        parsed = parse_prometheus(text)
+        (labels,) = parsed["errors_total"].keys()
+        assert dict(labels)["detail"] == 'fault "x" at C:\\dir\nline2'
+
+
+class TestParsePrometheus:
+    def test_round_trip_of_a_populated_registry(self):
+        registry = _populated_registry()
+        parsed = parse_prometheus(render_prometheus(registry))
+        assert parsed["cache_hits_total"][()] == 7.0
+        assert parsed["in_flight"][()] == 2.0
+        assert parsed["phases_total"][(("phase", "serial"),)] == 3.0
+        assert parsed["phases_total"][(("phase", "parallel"),)] == 1.0
+        assert parsed["latency_seconds_bucket"][(("le", "+Inf"),)] == 3.0
+        assert parsed["latency_seconds_count"][()] == 3.0
+
+    def test_comments_and_blank_lines_are_skipped(self):
+        parsed = parse_prometheus("# HELP x y\n\n# TYPE x counter\nx 1\n")
+        assert parsed == {"x": {(): 1.0}}
+
+
 class TestSummaryTable:
     def test_rows_for_every_populated_instrument(self):
         table = render_summary(_populated_registry())
@@ -63,6 +121,27 @@ class TestSummaryTable:
         row = next(l for l in table.splitlines() if "latency_seconds" in l)
         assert "3" in row  # count
         assert "1.85" in row  # mean of 0.05, 0.5, 5.0
+
+    def test_histogram_row_has_quantile_columns(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("q_seconds", "q", buckets=(0.1, 1.0))
+        for _ in range(100):
+            hist.observe(0.05)
+        table = render_summary(registry)
+        header = table.splitlines()[0]
+        assert "p50" in header and "p95" in header and "p99" in header
+        row = next(l for l in table.splitlines() if "q_seconds" in l)
+        # Every sample landed in the first bucket, so all quantile
+        # estimates stay within its (0, 0.1] bounds.
+        values = [v for v in row.split() if v.replace(".", "").isdigit()]
+        assert values  # count plus quantiles rendered as numbers
+
+    def test_counter_rows_leave_quantiles_blank(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "c").inc()
+        table = render_summary(registry)
+        row = next(l for l in table.splitlines() if "c_total" in l)
+        assert "-" in row  # quantile columns are placeholders
 
     def test_empty_registry_renders_placeholder(self):
         assert render_summary(MetricsRegistry()) == "(no telemetry recorded)"

@@ -1,0 +1,120 @@
+"""Unit tests for the `repro top` dashboard rendering."""
+
+import io
+
+from repro.obs.top import _bar, render_top, run_top
+
+
+def _payloads(**overrides):
+    health = {
+        "status": "ok",
+        "uptime_s": 12.5,
+        "pending_jobs": 1,
+        "completed": 7,
+        "coalesced": 2,
+        "rejected": 0,
+        "failed": 0,
+        "store_records": 7,
+        "quarantined": 0,
+        "in_flight": [
+            {
+                "benchmark": "mcf",
+                "config": "i7-45nm-stock",
+                "plan": None,
+                "age_s": 0.42,
+            }
+        ],
+    }
+    slo = {
+        "config": {"latency": {"p99": 0.25}, "availability": 0.999},
+        "routes": {
+            "/measure": {
+                "count": 9,
+                "p50_s": 0.01,
+                "p95_s": 0.05,
+                "p99_s": 0.3,
+                "violating": ["p99"],
+            }
+        },
+        "stages": {
+            "batch": {"count": 4, "p50_s": 0.02, "p95_s": 0.04, "p99_s": 0.05}
+        },
+        "availability": {
+            "requests": 10,
+            "errors": 1,
+            "observed": 0.9,
+            "target": 0.999,
+            "error_budget": {
+                "allowed_fraction": 0.001,
+                "consumed": 1.0,
+                "remaining": 0.0,
+                "burn_rate": 100.0,
+            },
+        },
+        "violations": ["/measure:p99"],
+        "ok": False,
+    }
+    metrics = {
+        "repro_study_cache_hits_total": {(): 6.0},
+        "repro_study_cache_misses_total": {(): 2.0},
+    }
+    payloads = {"health": health, "slo": slo, "metrics": metrics}
+    payloads.update(overrides)
+    return payloads
+
+
+class TestRenderTop:
+    def test_frame_surfaces_every_section(self):
+        p = _payloads()
+        frame = render_top(p["health"], p["slo"], p["metrics"])
+        assert "OK" in frame
+        assert "completed 7" in frame
+        assert "75.0% hit" in frame  # 6 of 8 lookups
+        assert "error budget" in frame and "burn x100.00" in frame
+        assert "SLO VIOLATIONS: /measure:p99" in frame
+        assert "mcf" in frame and "i7-45nm-stock" in frame
+        assert "batch" in frame
+        assert "!! p99" in frame
+
+    def test_idle_and_unconfigured_degrade_gracefully(self):
+        p = _payloads()
+        p["health"]["in_flight"] = []
+        p["slo"] = {
+            "config": None,
+            "routes": {},
+            "stages": {},
+            "availability": {"requests": 0, "errors": 0, "observed": 1.0},
+            "violations": [],
+            "ok": True,
+        }
+        frame = render_top(p["health"], p["slo"], {})
+        assert "(idle)" in frame
+        assert "(no SLO configured)" in frame
+        assert "SLO VIOLATIONS" not in frame
+
+    def test_in_flight_table_truncates(self):
+        p = _payloads()
+        p["health"]["in_flight"] = [
+            {"benchmark": f"b{i}", "config": "c", "age_s": 0.1}
+            for i in range(14)
+        ]
+        frame = render_top(p["health"], p["slo"], p["metrics"])
+        assert "... and 4 more" in frame
+
+    def test_bar_clamps(self):
+        assert _bar(-1.0) == "[" + "-" * 24 + "]"
+        assert _bar(2.0) == "[" + "#" * 24 + "]"
+        assert _bar(0.5).count("#") == 12
+
+
+class TestRunTop:
+    def test_unreachable_server_exits_3(self):
+        stream = io.StringIO()
+        code = run_top(
+            "http://127.0.0.1:9",  # discard port: nothing listens
+            interval_s=0.0,
+            iterations=1,
+            stream=stream,
+        )
+        assert code == 3
+        assert stream.getvalue() == ""

@@ -12,8 +12,14 @@ Asserts the service's operational contract:
    fault-armed request;
 2. the rate-limited client sees the expected 200/429 split, with a
    ``Retry-After`` header on every 429;
-3. SIGTERM drains cleanly (exit 0, final health report on stderr);
-4. the restarted server warm-starts from the SQLite store and re-serves
+3. ``GET /slo`` reports the declared targets, the exact request/error
+   counts for the known status mix, zero error-budget burn (no 5xx was
+   served), and positive latency quantiles;
+4. every measure response carries ``X-Request-Id`` + ``traceparent``,
+   and ``GET /trace/<request_id>`` serves a single-rooted span tree with
+   zero orphan parent ids;
+5. SIGTERM drains cleanly (exit 0, final health report on stderr);
+6. the restarted server warm-starts from the SQLite store and re-serves
    the identical bytes without re-measuring.
 
 Usage: ``python tools/service_smoke.py`` (add ``--keep-store`` to leave
@@ -43,9 +49,21 @@ SERVE_ARGS = [
     "0.001",  # effectively one request per client: 429s are deterministic
     "--burst",
     "1",
+    "--slo",
+    # Generous latency target (nothing should violate on a shared CI
+    # runner) + an availability target, so /slo reports a full budget.
+    "p99=120s,avail=99",
 ]
 
 FAILURES: list[str] = []
+
+
+def header(headers: dict, name: str) -> str | None:
+    """Case-insensitive header lookup (urllib preserves sent casing)."""
+    for key, value in headers.items():
+        if key.lower() == name.lower():
+            return value
+    return None
 
 
 def check(condition: bool, message: str) -> None:
@@ -182,12 +200,97 @@ def main() -> int:
     # fault-armed pair are among them), so the store holds exactly 20.
     check(health["store_records"] == 20, "store holds every measured cell")
 
-    # -- 6. clean drain -------------------------------------------------------
+    # -- 6. SLO report against the known status mix ---------------------------
+    # POST /measure traffic so far: 20 burst + 20 sweep + 2 fault section
+    # + 8 hammer + 1 unknown-benchmark = 51, none of them 5xx.
+    status, _, body = server.request("GET", "/slo")
+    check(status == 200, "GET /slo answers 200")
+    slo = json.loads(body)
+    check(
+        slo["config"] == {"latency": {"p99": 120.0}, "availability": 0.99},
+        "SLO config echoes the --slo spec",
+    )
+    measure_route = slo["routes"].get("/measure", {})
+    check(
+        measure_route.get("count") == 51,
+        f"/measure latency histogram saw all 51 requests "
+        f"(got {measure_route.get('count')})",
+    )
+    check(
+        0 < measure_route.get("p50_s", 0) <= measure_route.get("p99_s", 0),
+        "latency quantiles are positive and ordered (p50 <= p99)",
+    )
+    availability = slo["availability"]
+    check(
+        availability["errors"] == 0,
+        f"no 5xx served, so zero SLO errors (429/400/404 are not errors; "
+        f"got {availability['errors']})",
+    )
+    check(
+        availability["observed"] == 1.0
+        and availability["error_budget"]["consumed"] == 0.0
+        and availability["error_budget"]["burn_rate"] == 0.0,
+        "error budget untouched at 100% observed availability",
+    )
+    check(
+        slo["ok"] is True and slo["violations"] == [],
+        "no SLO violations under the generous targets",
+    )
+    check(
+        {"admission", "schedule", "batch", "store"} <= set(slo["stages"]),
+        f"per-stage latency covers the request pipeline "
+        f"(got {sorted(slo['stages'])})",
+    )
+
+    # -- 7. request traces ----------------------------------------------------
+    status, trace_headers, traced_body = server.measure(
+        {"benchmark": "mcf", "processor": "i7_45"}, client="tracer"
+    )
+    check(
+        status == 200 and traced_body == mcf_i7_record,
+        "traced request still serves the byte-identical cached record",
+    )
+    request_id = header(trace_headers, "X-Request-Id")
+    traceparent = header(trace_headers, "traceparent")
+    check(bool(request_id), "measure response carries X-Request-Id")
+    check(
+        bool(traceparent) and bool(re.match(r"^00-[0-9a-f]{32}-[0-9a-f]{16}-01$", traceparent or "")),
+        "measure response carries a well-formed traceparent",
+    )
+    status, _, body = server.request("GET", f"/trace/{request_id}")
+    check(status == 200, "GET /trace/<request_id> answers 200")
+    trace = json.loads(body)
+    check(
+        trace["orphans"] == [] and trace["root"] is not None,
+        "span tree is single-rooted with zero orphan parent ids",
+    )
+    check(
+        trace["root"]["name"] == "http.request"
+        and trace["root"]["attributes"]["status"] == 200,
+        "trace root is the http.request span with the served status",
+    )
+    span_names = {span["name"] for span in trace["spans"]}
+    check(
+        {"service.admission", "service.submit", "service.schedule"}
+        <= span_names,
+        f"trace covers the service pipeline (got {sorted(span_names)})",
+    )
+    status, _, body = server.request("GET", "/trace")
+    check(
+        status == 200 and request_id in json.loads(body)["request_ids"],
+        "GET /trace lists the archived request id",
+    )
+    check(
+        server.request("GET", "/trace/feedfacefeedface")[0] == 404,
+        "unknown request id is 404",
+    )
+
+    # -- 8. clean drain -------------------------------------------------------
     code, stderr = server.terminate()
     check(code == 0, f"SIGTERM drain exits 0 (got {code})")
     check("drained:" in stderr, "final health report printed on drain")
 
-    # -- 7. warm restart ------------------------------------------------------
+    # -- 9. warm restart ------------------------------------------------------
     print("== second server: warm restart from the store ==")
     server = Server(store)
     print(f"  {server.banner}")
