@@ -1,0 +1,107 @@
+"""Overhead benchmark for the supervised worker fleet (PR 7).
+
+Runs one campaign sweep through the plain process pool and once through
+the supervised fleet (heartbeats + liveness loop + requeue machinery),
+reports the fleet's overhead over the pool, and always verifies the two
+datasets are record-for-record identical — supervision that changed the
+data would be a bug, not a robustness feature.
+
+The fleet's extra cost is a heartbeat thread per worker plus a polling
+supervisor loop on the dispatch side; both are tiny next to real
+measurement work, and this benchmark keeps them honest.
+
+Environment variables:
+
+* ``REPRO_BENCH_JOBS`` — worker count for both sides (default: CPU
+  count);
+* ``REPRO_BENCH_MAX_FLEET_OVERHEAD`` — when set, *assert* the fleet
+  sweep takes at most this multiple of the pool sweep (e.g. ``1.25``
+  for 25% overhead).  Unset, the benchmark reports and passes: shared
+  or single-core runners see noisy ratios, but the equivalence check
+  still bites.
+
+Run directly:
+``PYTHONPATH=src python -m pytest -q -s benchmarks/bench_fleet_sweep.py``
+(kept out of the tier-1 ``testpaths`` so machine-dependent timing never
+blocks unrelated changes).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.normalization import References  # noqa: E402
+from repro.core.study import Study  # noqa: E402
+from repro.execution.engine import default_engine  # noqa: E402
+from repro.hardware.configurations import stock_configurations  # noqa: E402
+from repro.workloads.catalog import BENCHMARKS  # noqa: E402
+
+_REPS = 3
+
+
+def _timed_sweep(
+    references: References, jobs: int, supervised: bool
+) -> tuple[float, list[dict]]:
+    """One fresh-study sweep; returns (seconds, result records)."""
+    study = Study(
+        references=references,
+        invocation_scale=1.0,
+        supervised=supervised,
+    )
+    configs = stock_configurations()
+    start = time.perf_counter()
+    results = study.run(configs, BENCHMARKS, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    return elapsed, [result.as_record() for result in results]
+
+
+def test_fleet_overhead_over_pool():
+    jobs = int(os.environ.get("REPRO_BENCH_JOBS", "0")) or (os.cpu_count() or 1)
+    max_overhead = float(
+        os.environ.get("REPRO_BENCH_MAX_FLEET_OVERHEAD", "0")
+    )
+
+    references = References(default_engine())
+    # Warm process-wide state (calibration, meters, protocol tables) so
+    # neither timed side pays it; each worker process still pays its own
+    # per-process warm-up inside the timed run — that cost is real.
+    _timed_sweep(references, jobs=jobs, supervised=False)
+
+    pool_times: list[float] = []
+    fleet_times: list[float] = []
+    pool_records = fleet_records = None
+    for _ in range(_REPS):
+        elapsed, pool_records = _timed_sweep(
+            references, jobs=jobs, supervised=False
+        )
+        pool_times.append(elapsed)
+        elapsed, fleet_records = _timed_sweep(
+            references, jobs=jobs, supervised=True
+        )
+        fleet_times.append(elapsed)
+
+    assert fleet_records == pool_records, (
+        "supervised sweep diverged from the pool dataset"
+    )
+
+    pool_best = min(pool_times)
+    fleet_best = min(fleet_times)
+    ratio = fleet_best / pool_best if pool_best else float("inf")
+    print(
+        f"\nfleet sweep benchmark (jobs={jobs}):\n"
+        f"  pool  best of {_REPS}: {pool_best:8.2f}s\n"
+        f"  fleet best of {_REPS}: {fleet_best:8.2f}s\n"
+        f"  overhead ratio:      {ratio:8.2f}x"
+    )
+    if max_overhead:
+        assert ratio <= max_overhead, (
+            f"fleet overhead {ratio:.2f}x exceeds the "
+            f"{max_overhead:.2f}x budget"
+        )

@@ -123,6 +123,28 @@ def _build_parser() -> argparse.ArgumentParser:
         "count; the default), or 'none' to force the in-process path — "
         "results are byte-identical at any setting",
     )
+    parser.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run parallel sweeps on the supervised worker fleet "
+        "(heartbeats, crash detection, deterministic requeue) instead "
+        "of the plain process pool — same bytes, survives worker death",
+    )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=0.25,
+        metavar="S",
+        help="seconds between fleet worker heartbeats (default 0.25)",
+    )
+    parser.add_argument(
+        "--liveness-misses",
+        type=int,
+        default=4,
+        metavar="K",
+        help="missed heartbeats before a fleet worker is declared dead, "
+        "killed, and its chunk requeued (default 4)",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     def add_robustness_flags(cmd: argparse.ArgumentParser) -> None:
@@ -130,7 +152,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "--inject",
             metavar="PLAN",
             default=None,
-            help="arm a fault plan: 'demo', 'ci', or a JSON plan path",
+            help="arm a fault plan: 'demo', 'ci', 'chaos', or a JSON "
+            "plan path",
         )
         cmd.add_argument(
             "--max-retries",
@@ -242,7 +265,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--inject",
         metavar="PLAN",
         default=None,
-        help="arm a server-wide fault plan: 'demo', 'ci', or a JSON path",
+        help="arm a server-wide fault plan: 'demo', 'ci', 'chaos', or a "
+        "JSON path",
     )
     serve_cmd.add_argument(
         "--max-retries",
@@ -269,6 +293,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-trace",
         action="store_true",
         help="disable per-request tracing (GET /trace will hold no data)",
+    )
+    serve_cmd.add_argument(
+        "--drain-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="bound the SIGTERM drain: after S seconds in-flight "
+        "measurements are cancelled and the final health report printed "
+        "(default: wait for them indefinitely)",
     )
 
     top_cmd = commands.add_parser(
@@ -415,6 +448,7 @@ def _serve(
             slo=args.slo,
             event_log=args.event_log,
             trace_requests=not args.no_trace,
+            drain_timeout=args.drain_timeout,
         )
     except (ValueError, StoreError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -509,6 +543,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_capacity=getattr(args, "cache_cap", None),
         # The server reuses its worker pool across request batches.
         reuse_pool=args.command == "serve",
+        supervised=args.supervised,
+        heartbeat_s=args.heartbeat_interval,
+        liveness_misses=args.liveness_misses,
     )
     if resume is not None:
         if Path(resume).exists():

@@ -168,6 +168,15 @@ class Study:
     ``run()``/``run_pairs()`` calls instead of tearing it down per sweep
     — again a long-lived-process affordance; call :meth:`close_pool`
     (or rely on process exit) to release the workers.
+
+    ``supervised`` routes parallel sweeps through the
+    :class:`~repro.service.fleet.FleetSupervisor` instead of the plain
+    process pool: long-lived workers with ``heartbeat_s``-spaced
+    heartbeats, declared dead after ``liveness_misses`` missed beats,
+    respawned, and their in-flight chunk requeued — same bytes as the
+    pool and sequential paths, but the sweep survives worker crashes,
+    hangs, and slow-death.  Falls back to the pool path when no fleet
+    can be spawned.
     """
 
     def __init__(
@@ -183,6 +192,9 @@ class Study:
         jobs: Optional[Union[int, str]] = None,
         cache_capacity: Optional[int] = None,
         reuse_pool: bool = False,
+        supervised: bool = False,
+        heartbeat_s: float = 0.25,
+        liveness_misses: int = 4,
     ) -> None:
         if not math.isfinite(invocation_scale) or invocation_scale <= 0:
             raise ValueError(
@@ -208,6 +220,10 @@ class Study:
         self._cache_capacity = cache_capacity
         self._reuse_pool = reuse_pool
         self._pool = None  # lazily created when reuse_pool is set
+        self._supervised = supervised
+        self._heartbeat_s = heartbeat_s
+        self._liveness_misses = liveness_misses
+        self._fleet = None  # lazily created on the supervised path
         self._cache: dict[tuple[Benchmark, str], RunResult] = {}
         self._restored_keys: set[tuple[Benchmark, str]] = set()
         self._quarantine: dict[tuple[Benchmark, str], QuarantineEntry] = {}
@@ -823,6 +839,13 @@ class Study:
             (benchmark, config, index)
             for index, (benchmark, config) in enumerate(pending)
         )
+        if self._supervised:
+            chunks = self._dispatch_fleet(setup, indexed, workers)
+            if chunks is not None:
+                return chunks
+            # FleetUnavailable: fall through to the pool path (and from
+            # there, if need be, to the sequential loop) — safe because
+            # nothing merges until a dispatch path returns every chunk.
         pool = None
         if self._reuse_pool:
             if self._pool is not None and not self._pool.compatible_with(setup):
@@ -845,14 +868,65 @@ class Study:
                 self.close_pool()
             return None
 
+    def _dispatch_fleet(
+        self,
+        setup,
+        indexed,
+        workers: int,
+    ):
+        """Shard ``indexed`` pairs across the supervised worker fleet.
+
+        ``None`` means no fleet could be built (or the kept one died
+        beyond repair) — the caller falls back to the plain pool.  The
+        fleet is kept alive across sweeps exactly like the reuse pool:
+        the campaign server dispatches many small batches and amortises
+        worker start-up (plus the heartbeat channel) across them."""
+        from repro.service.fleet import FleetSupervisor, FleetUnavailable
+
+        owned = not self._reuse_pool
+        fleet = None
+        try:
+            if self._fleet is not None and not self._fleet.compatible_with(setup):
+                self.close_fleet()
+            if self._fleet is None:
+                self._fleet = FleetSupervisor(
+                    setup,
+                    workers if not owned else (min(workers, len(indexed)) or 1),
+                    heartbeat_s=self._heartbeat_s,
+                    liveness_misses=self._liveness_misses,
+                )
+            fleet = self._fleet
+            return fleet.run(indexed, progress=self._progress)
+        except FleetUnavailable:
+            self.close_fleet()
+            return None
+        finally:
+            if owned and self._fleet is not None:
+                self.close_fleet()
+
+    def fleet_snapshot(self):
+        """Per-worker health of the kept-alive fleet (``None`` when the
+        study is not running one) — the ``/healthz`` worker table."""
+        if self._fleet is None:
+            return None
+        self._fleet.poll()
+        return self._fleet.snapshot()
+
+    def close_fleet(self) -> None:
+        """Shut down the kept-alive supervised fleet, if one exists."""
+        if self._fleet is not None:
+            self._fleet.close()
+            self._fleet = None
+
     def close_pool(self) -> None:
-        """Shut down the kept-alive worker pool, if one exists.
+        """Shut down the kept-alive worker pool and fleet, if they exist.
 
         Only meaningful for ``reuse_pool=True`` studies (the campaign
         server calls this on drain); a no-op otherwise."""
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        self.close_fleet()
 
     def _merge_parallel(
         self,

@@ -80,6 +80,7 @@ class FaultInjector:
         self._sensor_specs = plan.specs_for_stage("sensor")
         self._logger_specs = plan.specs_for_stage("logger")
         self._meter_specs = plan.specs_for_stage("meter")
+        self._worker_specs = plan.specs_for_stage("worker")
 
     @property
     def plan(self) -> FaultPlan:
@@ -125,6 +126,20 @@ class FaultInjector:
                 site=site,
                 elapsed_s=spec.severity,
             )
+
+    def check_worker(self, site: str) -> Optional[FaultSpec]:
+        """Fleet hook: does a process-level fault fire for this dispatch?
+
+        Unlike the pipeline hooks this one only *decides*; the worker
+        loop enacts the spec (``os._exit`` for a crash, heartbeat
+        silence for a hang/slow-down), because the injector cannot kill
+        its own caller cleanly.  ``site`` is ``fleet/<chunk>/<attempt>``
+        — the attempt lives in the site itself so a probability-1.0 spec
+        scoped to attempt 0 fires exactly once per chunk."""
+        for spec in self._worker_specs:
+            if self._fires(spec, site):
+                return spec
+        return None
 
     def corrupt_sensor_codes(
         self, site: str, codes: np.ndarray, max_code: int

@@ -19,6 +19,9 @@ Fault kinds (the taxonomy in :mod:`docs/robustness.md`):
 ``sensor.drift``          a slow additive ramp across the run's codes
 ``sensor.stuck``          the ADC reports one frozen code for the whole run
 ``meter.saturation``      a burst of samples pinned to the sensor rail
+``worker.crash``          a fleet worker process dies mid-chunk
+``worker.hang``           a fleet worker wedges and stops heartbeating
+``worker.slow``           a fleet worker's heartbeats stall, then recover
 ========================  ====================================================
 
 The first three are *fail-stop*: the run aborts and a retry re-measures
@@ -52,7 +55,19 @@ CORRUPTING_KINDS = (
     "sensor.stuck",
     "meter.saturation",
 )
-KNOWN_KINDS = FAIL_STOP_KINDS + CORRUPTING_KINDS
+#: Process-level faults against the supervised worker fleet.  They kill
+#: (or wedge) a whole worker process rather than one invocation, so the
+#: supervisor — not the retry loop — recovers from them, by requeueing
+#: the in-flight chunk onto a respawned worker.  Like the fail-stop
+#: kinds they can never corrupt a completed sample: the replacement
+#: worker re-measures the chunk from scratch with noise keyed by site
+#: alone, reproducing the fault-free bytes.
+PROCESS_KINDS = (
+    "worker.crash",
+    "worker.hang",
+    "worker.slow",
+)
+KNOWN_KINDS = FAIL_STOP_KINDS + CORRUPTING_KINDS + PROCESS_KINDS
 
 #: Default kind-specific magnitudes, in each kind's natural unit.
 DEFAULT_MAGNITUDES: Mapping[str, float] = {
@@ -63,6 +78,8 @@ DEFAULT_MAGNITUDES: Mapping[str, float] = {
     "sensor.drift": 40.0,  # codes of ramp across the run
     "sensor.stuck": 0.0,  # unused (the stuck code is drawn per fault)
     "meter.saturation": 0.3,  # fraction of the run railed
+    "worker.hang": 3600.0,  # seconds wedged (supervisor kills long before)
+    "worker.slow": 1.0,  # seconds of heartbeat silence before recovering
 }
 
 
@@ -145,8 +162,11 @@ class FaultPlan:
     @property
     def fail_stop_only(self) -> bool:
         """True when no spec can corrupt a completed run's samples —
-        the regime in which retries reproduce fault-free results exactly."""
-        return all(s.kind in FAIL_STOP_KINDS for s in self.specs)
+        the regime in which retries reproduce fault-free results exactly.
+        Worker-process faults qualify: a killed worker's chunk is
+        requeued and re-measured whole, never merged partially."""
+        allowed = FAIL_STOP_KINDS + PROCESS_KINDS
+        return all(s.kind in allowed for s in self.specs)
 
     def as_dict(self) -> dict[str, object]:
         return {"seed": self.seed, "faults": [s.as_dict() for s in self.specs]}
@@ -205,11 +225,27 @@ def fail_stop_plan(probability: float = 0.02, seed: str = "ci") -> FaultPlan:
     )
 
 
+def worker_chaos_plan(seed: str = "chaos") -> FaultPlan:
+    """Kill every fleet worker on its *first* chunk dispatch.
+
+    The scope ``fleet/*/0`` matches attempt 0 of every chunk, so each
+    chunk's first assignee crashes deterministically and the attempt-1
+    requeue (fresh site, fresh dice) succeeds — guaranteeing at least
+    one crash + respawn per supervised sweep while the merged bytes stay
+    identical to a clean run."""
+    return FaultPlan(
+        specs=(FaultSpec(kind="worker.crash", probability=1.0, scope="fleet/*/0"),),
+        seed=seed,
+    )
+
+
 def plan_from_arg(arg: str) -> FaultPlan:
     """Resolve a CLI ``--inject`` argument: the name of a canned plan
-    (``demo``, ``ci``) or a path to a JSON plan file."""
+    (``demo``, ``ci``, ``chaos``) or a path to a JSON plan file."""
     if arg == "demo":
         return demo_plan()
     if arg == "ci":
         return fail_stop_plan()
+    if arg == "chaos":
+        return worker_chaos_plan()
     return FaultPlan.from_json(arg)

@@ -122,6 +122,37 @@ def render_top(
     if violations:
         lines.append("SLO VIOLATIONS: " + ", ".join(str(v) for v in violations))
 
+    # Fleet worker table — absent on pre-fleet servers and on servers
+    # running the plain pool, so degrade to nothing rather than crash.
+    fleet = health.get("fleet")
+    if isinstance(fleet, Mapping):
+        workers = fleet.get("workers")
+        restarts = _metric_total(metrics, "repro_fleet_worker_restarts_total")
+        requeues = _metric_total(metrics, "repro_fleet_requeues_total")
+        lines.append("")
+        lines.append(
+            f"fleet: {fleet.get('live', '?')}/{fleet.get('size', '?')} "
+            f"workers live  restarts {int(restarts) or fleet.get('restarts', 0)}  "
+            f"requeues {int(requeues) or fleet.get('requeues', 0)}  "
+            f"heartbeat {float(fleet.get('heartbeat_s') or 0.0) * 1e3:.0f}ms "
+            f"x{fleet.get('liveness_misses', '?')} misses"
+        )
+        if isinstance(workers, list) and workers:
+            lines.append(
+                "  id   pid     state  beats  chunks  heartbeat-age"
+            )
+            for worker in workers:
+                if not isinstance(worker, Mapping):
+                    continue
+                lines.append(
+                    f"  {str(worker.get('id', '?')):<4} "
+                    f"{str(worker.get('pid', '?')):<7} "
+                    f"{str(worker.get('state', '?')):<6} "
+                    f"{worker.get('beats', 0):>5}  "
+                    f"{worker.get('chunks_done', 0):>6}  "
+                    f"{float(worker.get('heartbeat_age_s') or 0.0):>10.3f}s"
+                )
+
     in_flight = health.get("in_flight") or []
     lines.append("")
     lines.append(f"in-flight jobs ({len(in_flight)}):")

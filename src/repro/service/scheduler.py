@@ -39,7 +39,7 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Mapping, Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 from repro.core.results import RunResult
 from repro.core.study import Study
@@ -151,10 +151,12 @@ class CampaignScheduler:
         store: Optional[ResultStore] = None,
         max_pending: int = 64,
         jobs: Optional[int | str] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"need max_pending >= 1, got {max_pending}")
         self._study = study
+        self._clock = clock
         self._store = store
         self._max_pending = max_pending
         self._jobs = jobs
@@ -223,20 +225,62 @@ class CampaignScheduler:
             self._dispatch_loop(), name="repro-service-dispatch"
         )
 
-    async def drain(self) -> dict[str, object]:
+    async def drain(
+        self, deadline_s: Optional[float] = None
+    ) -> dict[str, object]:
         """Stop admitting, finish every in-flight job, release workers.
 
-        Returns a summary dict for the final health report.  Idempotent:
-        a second drain returns the same summary without re-draining.
+        ``deadline_s`` bounds how long the drain waits for in-flight
+        measurements (measured on the injectable ``clock``): past it the
+        dispatcher is cancelled, every unresolved request fails with
+        :class:`Draining`, and the measurement thread is abandoned rather
+        than joined — a hung measurement can no longer hold SIGTERM
+        hostage.  ``None`` preserves the wait-forever behaviour.
+
+        Returns a summary dict for the final health report (including
+        ``drain_timed_out`` and ``cancelled``).  Idempotent: a second
+        drain returns the same summary without re-draining.
         """
         self._draining = True
         if self._wake is not None:
             self._wake.set()
+        timed_out = False
         if self._dispatcher is not None:
-            await self._dispatcher
+            if deadline_s is None:
+                await self._dispatcher
+            else:
+                deadline = self._clock() + deadline_s
+                remaining = deadline - self._clock()
+                finished = False
+                if remaining > 0:
+                    done, _ = await asyncio.wait(
+                        {self._dispatcher}, timeout=remaining
+                    )
+                    finished = bool(done)
+                if not finished:
+                    timed_out = True
+                    self._dispatcher.cancel()
+                    try:
+                        await self._dispatcher
+                    except asyncio.CancelledError:
+                        pass
             self._dispatcher = None
-        self._worker.shutdown(wait=True)
-        self._study.close_pool()
+        cancelled = 0
+        if timed_out:
+            # Escalate: fail whatever is still unresolved and walk away
+            # from the measurement thread instead of joining a hung one.
+            error = Draining("drain deadline exceeded; measurement cancelled")
+            for key in list(self._inflight):
+                self._resolve(key, error=error)
+                cancelled += 1
+            self._queue.clear()
+            self._worker.shutdown(wait=False, cancel_futures=True)
+            # The fleet's close is SIGKILL-bounded, so it is safe here;
+            # joining a possibly-hung SweepPool is not.
+            self._study.close_fleet()
+        else:
+            self._worker.shutdown(wait=True)
+            self._study.close_pool()
         if self._store is not None:
             self._store.flush()
         return {
@@ -246,6 +290,8 @@ class CampaignScheduler:
             "failed": self.failed,
             "quarantined": len(self._study.quarantined),
             "store_records": len(self._store) if self._store is not None else 0,
+            "drain_timed_out": timed_out,
+            "cancelled": cancelled,
         }
 
     # -- submission ------------------------------------------------------------
@@ -350,6 +396,10 @@ class CampaignScheduler:
                         pairs,
                         schedule_spans,
                     )
+                except asyncio.CancelledError:
+                    # Drain escalation: leave the jobs unresolved so the
+                    # drain path can fail them all with Draining.
+                    raise
                 except BaseException as exc:  # noqa: BLE001 - fan the error out
                     for job in jobs:
                         self._resolve(job.key, error=exc)

@@ -54,7 +54,12 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.core.aggregation import group_means, weighted_average
 from repro.core.pareto import TradeoffPoint, pareto_efficient
 from repro.core.study import Study
-from repro.faults.plan import FaultPlan, demo_plan, fail_stop_plan
+from repro.faults.plan import (
+    FaultPlan,
+    demo_plan,
+    fail_stop_plan,
+    worker_chaos_plan,
+)
 from repro.hardware.catalog import processor
 from repro.hardware.config import UnsupportedConfigurationError, stock
 from repro.hardware.configurations import all_configurations
@@ -212,6 +217,7 @@ class CampaignServer:
         event_log: Union[Path, str, TextIO, None] = None,
         trace_requests: bool = True,
         trace_capacity: int = 256,
+        drain_timeout: Optional[float] = None,
     ) -> None:
         self._study = study if study is not None else Study()
         self._host = host
@@ -222,6 +228,7 @@ class CampaignServer:
             self._store = ResultStore(store if store is not None else ":memory:")
             self._owns_store = True
         self._fingerprint = fingerprint
+        self._drain_timeout = drain_timeout
         self._scheduler = CampaignScheduler(
             self._study, store=self._store, max_pending=max_pending, jobs=jobs
         )
@@ -277,8 +284,11 @@ class CampaignServer:
         self._started_monotonic = time.monotonic()
 
     async def shutdown(self) -> dict[str, object]:
-        """Graceful drain: finish in-flight jobs, flush, close, report."""
-        summary = await self._scheduler.drain()
+        """Graceful drain: finish in-flight jobs, flush, close, report.
+
+        Bounded by the server's ``drain_timeout`` (``None`` waits for
+        in-flight measurements indefinitely, the pre-PR-7 behaviour)."""
+        summary = await self._scheduler.drain(deadline_s=self._drain_timeout)
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -670,6 +680,7 @@ class CampaignServer:
             "store_records": len(self._store),
             "restored": self.restored,
             "in_flight": self._scheduler.inflight_snapshot(),
+            "fleet": self._study.fleet_snapshot(),
         }
 
     async def _metrics(self, request: Request) -> Response:
@@ -725,8 +736,11 @@ def _parse_plan(raw: object) -> Optional[FaultPlan]:
             return fail_stop_plan()
         if raw == "demo":
             return demo_plan()
+        if raw == "chaos":
+            return worker_chaos_plan()
         raise BadRequest(
-            f"unknown plan {raw!r}: use 'ci', 'demo', or an inline plan object"
+            f"unknown plan {raw!r}: use 'ci', 'demo', 'chaos', or an "
+            f"inline plan object"
         )
     if isinstance(raw, dict):
         try:

@@ -75,11 +75,29 @@ class ResultStore:
     same canonical order ``Study.save_checkpoint`` uses.
     """
 
-    def __init__(self, path: Path | str = ":memory:") -> None:
+    def __init__(
+        self,
+        path: Path | str = ":memory:",
+        busy_timeout_s: float = 5.0,
+    ) -> None:
         self._path = str(path)
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(self._path, check_same_thread=False)
         with self._lock:
+            # Crash robustness for on-disk stores: WAL keeps a torn write
+            # (a writer SIGKILLed mid-`put`) from corrupting committed
+            # rows — readers see the last committed snapshot and recovery
+            # happens automatically on the next open.  NORMAL sync is the
+            # WAL-safe durability point (fsync on checkpoint, not per
+            # commit); the busy timeout makes concurrent openers wait for
+            # a writer's lock instead of failing with "database is
+            # locked".  ``:memory:`` has no journal, so leave it alone.
+            if self._path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+                self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                f"PRAGMA busy_timeout={int(busy_timeout_s * 1000)}"
+            )
             self._conn.executescript(_SCHEMA)
             row = self._conn.execute(
                 "SELECT value FROM meta WHERE key = 'schema_version'"

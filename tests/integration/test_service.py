@@ -584,3 +584,44 @@ class TestOpsView:
         assert "repro top" in frame
         assert "cache" in frame
         assert "error budget" in frame
+
+
+class TestSupervisedService:
+    def test_healthz_exposes_the_fleet_worker_table(self, references):
+        """A supervised server keeps its fleet alive between batches and
+        publishes the per-worker table on /healthz; `repro top` renders
+        it from there."""
+        server = CampaignServer(
+            study=_quick_study(references, reuse_pool=True, supervised=True),
+            jobs=2,
+        )
+        with _LiveServer(server) as live:
+            status, _, body = live.measure(MEASURE_MCF_I7)
+            assert status == 200
+            _, _, health_body = live.request("GET", "/healthz")
+            health = json.loads(health_body)
+            fleet = health["fleet"]
+            assert fleet is not None
+            assert fleet["live"] >= 1
+            assert fleet["heartbeat_s"] > 0
+            assert isinstance(fleet["workers"], list) and fleet["workers"]
+            worker = fleet["workers"][0]
+            assert {"id", "pid", "state", "beats", "heartbeat_age_s"} <= set(
+                worker
+            )
+            # Supervised measurement serves the same bytes as ever.
+            sequential = (
+                _quick_study(references)
+                .run([stock(CORE_I7_45)], [benchmark("mcf")])
+                .single()
+            )
+            assert body == json.dumps(sequential.as_record()).encode()
+            _, _, metrics_body = live.request("GET", "/metrics")
+            assert "repro_fleet_workers" in metrics_body.decode()
+
+    def test_unsupervised_server_reports_no_fleet(self, references):
+        with _LiveServer(
+            CampaignServer(study=_quick_study(references))
+        ) as live:
+            _, _, body = live.request("GET", "/healthz")
+            assert json.loads(body)["fleet"] is None

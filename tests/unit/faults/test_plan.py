@@ -9,11 +9,13 @@ from repro.faults.plan import (
     DEFAULT_MAGNITUDES,
     FAIL_STOP_KINDS,
     KNOWN_KINDS,
+    PROCESS_KINDS,
     FaultPlan,
     FaultSpec,
     demo_plan,
     fail_stop_plan,
     plan_from_arg,
+    worker_chaos_plan,
 )
 
 
@@ -83,7 +85,34 @@ class TestFaultPlan:
 
     def test_taxonomy_is_partitioned(self):
         assert set(FAIL_STOP_KINDS).isdisjoint(CORRUPTING_KINDS)
-        assert set(KNOWN_KINDS) == set(FAIL_STOP_KINDS) | set(CORRUPTING_KINDS)
+        assert set(FAIL_STOP_KINDS).isdisjoint(PROCESS_KINDS)
+        assert set(CORRUPTING_KINDS).isdisjoint(PROCESS_KINDS)
+        assert set(KNOWN_KINDS) == (
+            set(FAIL_STOP_KINDS) | set(CORRUPTING_KINDS) | set(PROCESS_KINDS)
+        )
+
+    def test_worker_kinds_are_fail_stop_safe(self):
+        """Process-level faults never corrupt a completed sample — the
+        requeued chunk re-measures from scratch — so a worker-kind plan
+        qualifies for per-request service use."""
+        assert worker_chaos_plan().fail_stop_only
+        mixed = FaultPlan(
+            specs=(
+                FaultSpec(kind="worker.crash", probability=0.5),
+                FaultSpec(kind="sensor.drift", probability=0.5),
+            )
+        )
+        assert not mixed.fail_stop_only
+
+    def test_chaos_plan_kills_first_dispatch_only(self):
+        plan = worker_chaos_plan()
+        (spec,) = plan.specs
+        assert spec.kind == "worker.crash"
+        assert spec.probability == 1.0
+        assert spec.applies_to("fleet/0/0")
+        assert spec.applies_to("fleet/7/0")
+        assert not spec.applies_to("fleet/0/1")
+        assert plan_from_arg("chaos") == plan
 
     def test_dict_round_trip(self):
         plan = FaultPlan(

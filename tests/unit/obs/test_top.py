@@ -101,6 +101,58 @@ class TestRenderTop:
         frame = render_top(p["health"], p["slo"], p["metrics"])
         assert "... and 4 more" in frame
 
+    def test_fleet_worker_table_renders(self):
+        p = _payloads()
+        p["health"]["fleet"] = {
+            "size": 2,
+            "live": 2,
+            "restarts": 1,
+            "requeues": 1,
+            "heartbeat_s": 0.25,
+            "liveness_misses": 4,
+            "workers": [
+                {
+                    "id": 0,
+                    "pid": 4242,
+                    "state": "busy",
+                    "beats": 17,
+                    "chunks_done": 3,
+                    "heartbeat_age_s": 0.112,
+                },
+                {
+                    "id": 2,
+                    "pid": 4244,
+                    "state": "idle",
+                    "beats": 9,
+                    "chunks_done": 1,
+                    "heartbeat_age_s": 0.031,
+                },
+            ],
+        }
+        p["metrics"]["repro_fleet_worker_restarts_total"] = {(): 1.0}
+        p["metrics"]["repro_fleet_requeues_total"] = {(): 1.0}
+        frame = render_top(p["health"], p["slo"], p["metrics"])
+        assert "fleet: 2/2 workers live" in frame
+        assert "restarts 1" in frame and "requeues 1" in frame
+        assert "heartbeat 250ms x4 misses" in frame
+        assert "4242" in frame and "busy" in frame
+        assert "0.112s" in frame
+
+    def test_pre_fleet_server_degrades_gracefully(self):
+        """A /healthz payload without (or with a null) fleet field — an
+        older server — must render without crashing or a fleet section."""
+        p = _payloads()
+        assert "fleet" not in p["health"]
+        frame = render_top(p["health"], p["slo"], p["metrics"])
+        assert "fleet:" not in frame
+        p["health"]["fleet"] = None
+        frame = render_top(p["health"], p["slo"], p["metrics"])
+        assert "fleet:" not in frame
+        # A fleet payload missing optional keys still renders.
+        p["health"]["fleet"] = {"workers": [{}]}
+        frame = render_top(p["health"], p["slo"], p["metrics"])
+        assert "fleet:" in frame
+
     def test_bar_clamps(self):
         assert _bar(-1.0) == "[" + "-" * 24 + "]"
         assert _bar(2.0) == "[" + "#" * 24 + "]"

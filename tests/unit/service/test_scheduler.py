@@ -240,3 +240,78 @@ class TestFailuresAndPersistence:
     def test_rejects_degenerate_queue_bound(self, references):
         with pytest.raises(ValueError):
             CampaignScheduler(_study(references), max_pending=0)
+
+
+class TestDrainDeadline:
+    """``drain(deadline_s=...)``: the bounded-shutdown escalation path.
+
+    Timing runs on the scheduler's injectable clock, so the "deadline
+    exceeded" branch is exercised by jumping a fake clock — no sleeping,
+    and no dependence on how long the hung measurement really takes."""
+
+    def test_hung_measurement_cannot_hold_drain_hostage(self, references):
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+        # First clock() call stamps the deadline; the second (computing
+        # the remaining budget) has leapt far past it, so the drain
+        # escalates immediately instead of waiting out real seconds.
+        ticks = iter([100.0, 1000.0])
+        scheduler = CampaignScheduler(
+            _study(references), clock=lambda: next(ticks, 1000.0)
+        )
+
+        def hung_measure(plan, pairs, schedule_spans):
+            started.set()
+            release.wait()  # wedged until the test cleans up
+            return {}, {}
+
+        scheduler._measure_batch = hung_measure
+
+        async def main():
+            await scheduler.start()
+            task = asyncio.create_task(scheduler.submit(MCF, I7))
+            # Park until the measurement thread is genuinely wedged.
+            await asyncio.get_running_loop().run_in_executor(
+                None, started.wait
+            )
+            summary = await scheduler.drain(deadline_s=5.0)
+            with pytest.raises(Draining):
+                await task
+            return summary
+
+        try:
+            summary = _run(main())
+        finally:
+            release.set()  # unwedge the abandoned worker thread
+        assert summary["drain_timed_out"] is True
+        assert summary["cancelled"] == 1
+        assert scheduler.pending == 0
+
+    def test_fast_drain_never_escalates(self, references):
+        scheduler = CampaignScheduler(_study(references))
+
+        async def main():
+            await scheduler.start()
+            await scheduler.submit(MCF, I7)
+            return await scheduler.drain(deadline_s=600.0)
+
+        summary = _run(main())
+        assert summary["drain_timed_out"] is False
+        assert summary["cancelled"] == 0
+        assert summary["completed"] == 1
+
+    def test_unbounded_drain_still_waits(self, references):
+        """``deadline_s=None`` (the default, and the CLI default) keeps
+        the wait-forever semantics earlier PRs relied on."""
+        scheduler = CampaignScheduler(_study(references))
+
+        async def main():
+            await scheduler.start()
+            await scheduler.submit(DB, ATOM)
+            return await scheduler.drain()
+
+        summary = _run(main())
+        assert summary["drain_timed_out"] is False
+        assert summary["completed"] == 1

@@ -24,6 +24,15 @@ Asserts the service's operational contract:
 
 Usage: ``python tools/service_smoke.py`` (add ``--keep-store`` to leave
 the SQLite file behind for inspection).
+
+``--chaos`` runs the worker-kill scenario instead: a golden pass on a
+plain server, then the same requests against a **supervised** server
+armed with the canned ``chaos`` fault plan (every chunk's first assignee
+is crashed mid-measurement).  Asserts at least one worker crash +
+respawn actually happened (``repro_fleet_worker_restarts_total`` on
+``/metrics``, plus the ``/healthz`` worker table) and that every
+response body is byte-identical to the golden pass — worker death is
+invisible in the data.
 """
 
 from __future__ import annotations
@@ -76,9 +85,16 @@ def check(condition: bool, message: str) -> None:
 class Server:
     """One ``repro serve`` subprocess."""
 
-    def __init__(self, store: Path) -> None:
+    def __init__(self, store: Path, args: list[str] | None = None) -> None:
         self.proc = subprocess.Popen(
-            [sys.executable, "-m", "repro", *SERVE_ARGS, "--store", str(store)],
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                *(SERVE_ARGS if args is None else args),
+                "--store",
+                str(store),
+            ],
             stderr=subprocess.PIPE,
             text=True,
         )
@@ -113,10 +129,152 @@ class Server:
         return self.proc.wait(timeout=120), stderr
 
 
+def cleanup_stores(tmp: Path) -> None:
+    """Remove the smoke stores plus every SQLite sidecar (WAL mode
+    leaves ``-wal``/``-shm`` next to the database)."""
+    for db in list(tmp.glob("*.sqlite")):
+        for suffix in ("", "-journal", "-wal", "-shm"):
+            Path(str(db) + suffix).unlink(missing_ok=True)
+    tmp.rmdir()
+
+
+#: Chaos scenario: the same six cells measured twice — once on a plain
+#: server (the goldens), once on a supervised fleet whose plan crashes
+#: every chunk's first assignee.
+CHAOS_CELLS = [
+    {"benchmark": bench, "processor": proc}
+    for bench in ("mcf", "db", "lusearch")
+    for proc in ("i7_45", "atom_45")
+]
+
+GOLDEN_SERVE_ARGS = ["--quick", "serve", "--port", "0"]
+
+CHAOS_SERVE_ARGS = [
+    "--quick",
+    "--supervised",
+    "--jobs",
+    "2",
+    "--heartbeat-interval",
+    "0.1",
+    "--liveness-misses",
+    "3",
+    "serve",
+    "--port",
+    "0",
+    "--inject",
+    "chaos",
+    "--drain-timeout",
+    "90",
+]
+
+
+def chaos_main(keep_store: bool) -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+
+    print("== golden server: clean, unsupervised ==")
+    server = Server(tmp / "golden.sqlite", GOLDEN_SERVE_ARGS)
+    print(f"  {server.banner}")
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        golden = list(
+            pool.map(
+                lambda pair: server.measure(pair[1], client=f"g-{pair[0]}"),
+                enumerate(CHAOS_CELLS),
+            )
+        )
+    check(
+        all(s == 200 for s, _, _ in golden),
+        f"golden pass: {len(CHAOS_CELLS)}/{len(CHAOS_CELLS)} got 200",
+    )
+    code, _ = server.terminate()
+    check(code == 0, f"golden drain exits 0 (got {code})")
+
+    print("== chaos server: supervised fleet + worker-kill plan ==")
+    server = Server(tmp / "chaos.sqlite", CHAOS_SERVE_ARGS)
+    print(f"  {server.banner}")
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        chaotic = list(
+            pool.map(
+                lambda pair: server.measure(pair[1], client=f"c-{pair[0]}"),
+                enumerate(CHAOS_CELLS),
+            )
+        )
+    check(
+        all(s == 200 for s, _, _ in chaotic),
+        "chaos pass: every request survived its worker being killed",
+    )
+    matches = sum(
+        1
+        for (_, _, golden_body), (_, _, chaos_body) in zip(golden, chaotic)
+        if golden_body == chaos_body
+    )
+    check(
+        matches == len(CHAOS_CELLS),
+        f"worker death is invisible in the data: "
+        f"{matches}/{len(CHAOS_CELLS)} bodies byte-identical to goldens",
+    )
+
+    status, _, health_body = server.request("GET", "/healthz")
+    health = json.loads(health_body)
+    fleet = health.get("fleet")
+    check(
+        status == 200 and isinstance(fleet, dict),
+        "healthz publishes the fleet worker table",
+    )
+    if isinstance(fleet, dict):
+        print(
+            f"  fleet: {fleet.get('live')}/{fleet.get('size')} live, "
+            f"{fleet.get('restarts')} restarts, "
+            f"{fleet.get('requeues')} requeues"
+        )
+        check(fleet.get("live", 0) >= 1, "at least one worker is live")
+        check(
+            fleet.get("restarts", 0) >= 1,
+            f"at least one worker was crashed and respawned "
+            f"(got {fleet.get('restarts')})",
+        )
+
+    status, _, metrics_body = server.request("GET", "/metrics")
+    match = re.search(
+        r"^repro_fleet_worker_restarts_total(?:\{[^}]*\})?\s+([0-9.eE+-]+)",
+        metrics_body.decode(),
+        re.MULTILINE,
+    )
+    restarts = float(match.group(1)) if match else 0.0
+    check(
+        status == 200 and restarts >= 1.0,
+        f"/metrics shows >= 1 worker restart (got {restarts:g})",
+    )
+
+    code, stderr = server.terminate()
+    check(
+        code == 0 and "drained:" in stderr,
+        f"chaos server drains cleanly under churn (exit {code})",
+    )
+
+    if not keep_store:
+        cleanup_stores(tmp)
+
+    if FAILURES:
+        print(f"\nchaos smoke FAILED: {len(FAILURES)} assertion(s):")
+        for failure in FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("\nchaos smoke OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--keep-store", action="store_true")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="run the supervised worker-kill scenario instead of the "
+        "mixed-load smoke",
+    )
     args = parser.parse_args()
+    if args.chaos:
+        return chaos_main(args.keep_store)
 
     tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
     store = tmp / "campaign.sqlite"
@@ -307,9 +465,7 @@ def main() -> int:
     check(code == 0 and "drained:" in stderr, "second drain is clean too")
 
     if not args.keep_store:
-        store.unlink(missing_ok=True)
-        Path(str(store) + "-journal").unlink(missing_ok=True)
-        tmp.rmdir()
+        cleanup_stores(tmp)
 
     if FAILURES:
         print(f"\nsmoke FAILED: {len(FAILURES)} assertion(s):")
