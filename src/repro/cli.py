@@ -43,7 +43,7 @@ refuses a checkpoint whose sidecar mismatches the current run (exit
 code 4) instead of silently mixing incompatible datasets.
 
 Exit codes: 0 success, 2 usage error, 3 measurement failed, 4 resume /
-store fingerprint mismatch.
+store fingerprint or schema mismatch.
 """
 
 from __future__ import annotations
@@ -303,6 +303,12 @@ def _build_parser() -> argparse.ArgumentParser:
         "measurements are cancelled and the final health report printed "
         "(default: wait for them indefinitely)",
     )
+    serve_cmd.add_argument(
+        "--recover",
+        action="store_true",
+        help="replay unfinished journalled requests from --store before "
+        "serving fresh traffic (see docs/robustness.md)",
+    )
 
     top_cmd = commands.add_parser(
         "top", help="live ops dashboard for a running campaign server"
@@ -434,6 +440,13 @@ def _serve(
     from repro.service.server import CampaignServer, serve
     from repro.service.store import StoreError
 
+    if args.recover and args.store is None:
+        print(
+            "error: --recover replays the journal in --store; an "
+            "in-memory store has nothing to recover",
+            file=sys.stderr,
+        )
+        return 2
     try:
         server = CampaignServer(
             study=study,
@@ -449,15 +462,20 @@ def _serve(
             event_log=args.event_log,
             trace_requests=not args.no_trace,
             drain_timeout=args.drain_timeout,
+            recover=args.recover,
         )
-    except (ValueError, StoreError) as exc:
+    except StoreError as exc:
+        # The store was written by an incompatible schema or a run with
+        # different parameters — same class of mismatch as a stale
+        # --resume checkpoint.  The message carries its own hint.
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     try:
         serve(server)
     except StoreError as exc:
-        # The store was written by a run with different parameters —
-        # same class of mismatch as a stale --resume checkpoint.
         print(f"error: {exc}", file=sys.stderr)
         return 4
     return 0

@@ -1091,11 +1091,19 @@ def read_checkpoint_meta(path: Path | str) -> Optional[dict]:
 
 
 def fingerprint_mismatch(
-    saved: Mapping[str, object], current: Mapping[str, object]
+    saved: Mapping[str, object],
+    current: Mapping[str, object],
+    fields: tuple[str, ...] = ("root_seed", "invocation_scale", "fault_plan"),
 ) -> Optional[str]:
     """One-line description of the first differing fingerprint field, or
-    ``None`` when the checkpoint is compatible with the current run."""
-    for field in ("root_seed", "invocation_scale", "fault_plan"):
+    ``None`` when the checkpoint is compatible with the current run.
+
+    ``fields`` narrows the comparison: checkpoints compare everything
+    (a fault plan changes *which pairs* a checkpoint holds), while the
+    result store skips ``fault_plan`` (stored bytes are plan-invariant,
+    and crash recovery restarts without the plan that killed the
+    coordinator)."""
+    for field in fields:
         if saved.get(field) != current.get(field):
             return (
                 f"{field}: saved run had {saved.get(field)!r}, "

@@ -29,9 +29,11 @@ from repro.faults.errors import (
     SensorFault,
 )
 from repro.faults.injector import (
+    COORDINATOR_CRASH_EXIT_CODE,
     FaultInjector,
     active,
     attempt_scope,
+    coordinator_fault_point,
     current_attempt,
     injected,
     install,
@@ -39,11 +41,14 @@ from repro.faults.injector import (
     uninstall,
 )
 from repro.faults.plan import (
+    COORDINATOR_KINDS,
+    COORDINATOR_PHASES,
     CORRUPTING_KINDS,
     FAIL_STOP_KINDS,
     KNOWN_KINDS,
     FaultPlan,
     FaultSpec,
+    coordinator_crash_plan,
     demo_plan,
     fail_stop_plan,
     plan_from_arg,
@@ -51,6 +56,9 @@ from repro.faults.plan import (
 from repro.faults.retry import DEFAULT_RETRY_POLICY, RetryPolicy
 
 __all__ = [
+    "COORDINATOR_CRASH_EXIT_CODE",
+    "COORDINATOR_KINDS",
+    "COORDINATOR_PHASES",
     "CORRUPTING_KINDS",
     "CheckpointError",
     "DEFAULT_RETRY_POLICY",
@@ -69,6 +77,8 @@ __all__ = [
     "SensorFault",
     "active",
     "attempt_scope",
+    "coordinator_crash_plan",
+    "coordinator_fault_point",
     "current_attempt",
     "demo_plan",
     "fail_stop_plan",

@@ -24,6 +24,11 @@ loop rather than through every stage signature.
 from __future__ import annotations
 
 import contextvars
+import itertools
+import os
+import sys
+import time
+from collections import defaultdict
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -81,6 +86,7 @@ class FaultInjector:
         self._logger_specs = plan.specs_for_stage("logger")
         self._meter_specs = plan.specs_for_stage("meter")
         self._worker_specs = plan.specs_for_stage("worker")
+        self._coordinator_specs = plan.specs_for_stage("coordinator")
 
     @property
     def plan(self) -> FaultPlan:
@@ -137,6 +143,19 @@ class FaultInjector:
         — the attempt lives in the site itself so a probability-1.0 spec
         scoped to attempt 0 fires exactly once per chunk."""
         for spec in self._worker_specs:
+            if self._fires(spec, site):
+                return spec
+        return None
+
+    def check_coordinator(self, site: str) -> Optional[FaultSpec]:
+        """Coordinator hook: does a coordinator fault fire at this phase?
+
+        Decide-only, like :meth:`check_worker` — the caller (via
+        :func:`coordinator_fault_point`) enacts the spec, because a
+        ``coordinator.crash`` is ``os._exit`` on the serving process and
+        the injector cannot usefully unwind from that.  ``site`` is
+        ``coordinator/<phase>/<ordinal>``."""
+        for spec in self._coordinator_specs:
             if self._fires(spec, site):
                 return spec
         return None
@@ -257,6 +276,51 @@ def uninstall() -> None:
     """Disarm fault injection."""
     global _ACTIVE
     _ACTIVE = None
+
+
+#: Exit status of a coordinator killed by an injected ``coordinator.crash``
+#: — distinct from the fleet's worker crash code so the chaos harness can
+#: tell "the server self-killed at the armed phase" from a worker death.
+COORDINATOR_CRASH_EXIT_CODE = 86
+
+#: Per-phase ordinal counters behind :func:`coordinator_fault_point`.
+#: The ordinal makes each opportunity a distinct site (fresh dice), so a
+#: probabilistic stall plan doesn't fire identically at every admit.
+_COORDINATOR_ORDINALS: defaultdict[str, itertools.count] = defaultdict(itertools.count)
+
+
+def reset_coordinator_sites() -> None:
+    """Restart the per-phase ordinal counters (test isolation)."""
+    _COORDINATOR_ORDINALS.clear()
+
+
+def coordinator_fault_point(phase: str) -> None:
+    """Service hook: evaluate — and *enact* — coordinator faults at
+    ``phase`` (one of ``admit``/``schedule``/``batch``/``store``).
+
+    A ``coordinator.crash`` terminates the process immediately via
+    ``os._exit`` (no flush, no atexit — the point is to model SIGKILL,
+    so anything not already durable is lost); a ``coordinator.stall``
+    sleeps for the spec's magnitude and then continues.  With no armed
+    injector (or no coordinator specs) this is a ``None`` check plus a
+    tuple scan — effectively free on the hot path."""
+    injector = active()
+    if injector is None or not injector._coordinator_specs:
+        return
+    site = f"coordinator/{phase}/{next(_COORDINATOR_ORDINALS[phase])}"
+    spec = injector.check_coordinator(site)
+    if spec is None:
+        return
+    if spec.kind == "coordinator.crash":
+        print(
+            f"repro: injected coordinator.crash at {site}; exiting "
+            f"{COORDINATOR_CRASH_EXIT_CODE}",
+            file=sys.stderr,
+            flush=True,
+        )
+        os._exit(COORDINATOR_CRASH_EXIT_CODE)
+    # coordinator.stall: wedge the phase, then carry on.
+    time.sleep(max(spec.severity, 0.0))
 
 
 @contextmanager

@@ -22,6 +22,8 @@ Fault kinds (the taxonomy in :mod:`docs/robustness.md`):
 ``worker.crash``          a fleet worker process dies mid-chunk
 ``worker.hang``           a fleet worker wedges and stops heartbeating
 ``worker.slow``           a fleet worker's heartbeats stall, then recover
+``coordinator.crash``     the serving coordinator dies at a pipeline phase
+``coordinator.stall``     the coordinator wedges briefly at a pipeline phase
 ========================  ====================================================
 
 The first three are *fail-stop*: the run aborts and a retry re-measures
@@ -67,7 +69,23 @@ PROCESS_KINDS = (
     "worker.hang",
     "worker.slow",
 )
-KNOWN_KINDS = FAIL_STOP_KINDS + CORRUPTING_KINDS + PROCESS_KINDS
+#: Faults against the *coordinator* itself — the ``repro serve`` process
+#: that owns the request journal.  A ``coordinator.crash`` fires
+#: ``os._exit`` at a named pipeline phase (admit/schedule/batch/store);
+#: a ``coordinator.stall`` wedges that phase for ``magnitude`` seconds.
+#: Recovery is the journal's job, not a retry loop's: a restarted server
+#: with ``--recover`` replays every journaled-but-unfinished request, so
+#: these kinds are excluded from per-request plans (``fail_stop_only``)
+#: and from the canned ``demo`` plan — arming one kills the process that
+#: armed it.
+COORDINATOR_KINDS = (
+    "coordinator.crash",
+    "coordinator.stall",
+)
+#: The pipeline phases at which the coordinator exposes a fault point
+#: (sites are ``coordinator/<phase>/<ordinal>``).
+COORDINATOR_PHASES = ("admit", "schedule", "batch", "store")
+KNOWN_KINDS = FAIL_STOP_KINDS + CORRUPTING_KINDS + PROCESS_KINDS + COORDINATOR_KINDS
 
 #: Default kind-specific magnitudes, in each kind's natural unit.
 DEFAULT_MAGNITUDES: Mapping[str, float] = {
@@ -80,6 +98,7 @@ DEFAULT_MAGNITUDES: Mapping[str, float] = {
     "meter.saturation": 0.3,  # fraction of the run railed
     "worker.hang": 3600.0,  # seconds wedged (supervisor kills long before)
     "worker.slow": 1.0,  # seconds of heartbeat silence before recovering
+    "coordinator.stall": 0.25,  # seconds the coordinator phase wedges
 }
 
 
@@ -205,11 +224,14 @@ class FaultPlan:
 
 def demo_plan(probability: float = 0.05, seed: str = "demo") -> FaultPlan:
     """A plan that exercises every stage — crashes, hangs, disconnects,
-    gaps, glitches, drift, and saturation bursts — at ``probability``."""
+    gaps, glitches, drift, and saturation bursts — at ``probability``.
+
+    Coordinator kinds are deliberately excluded: ``demo`` is meant to be
+    armable on a live ``repro serve`` process, and a coordinator fault
+    would kill (or wedge) the very process serving the requests."""
+    kinds = tuple(k for k in KNOWN_KINDS if k not in COORDINATOR_KINDS)
     return FaultPlan(
-        specs=tuple(
-            FaultSpec(kind=kind, probability=probability) for kind in KNOWN_KINDS
-        ),
+        specs=tuple(FaultSpec(kind=kind, probability=probability) for kind in kinds),
         seed=seed,
     )
 
@@ -235,6 +257,31 @@ def worker_chaos_plan(seed: str = "chaos") -> FaultPlan:
     identical to a clean run."""
     return FaultPlan(
         specs=(FaultSpec(kind="worker.crash", probability=1.0, scope="fleet/*/0"),),
+        seed=seed,
+    )
+
+
+def coordinator_crash_plan(phase: str = "batch", seed: str = "coordinator") -> FaultPlan:
+    """Kill the coordinator the first time it reaches ``phase``.
+
+    The scope ``coordinator/<phase>/*`` matches every ordinal at that
+    phase, so with probability 1.0 the first opportunity fires.  The
+    chaos harness arms this on one server incarnation only — the
+    ``--recover`` restart runs without it, so recovery completes instead
+    of crash-looping."""
+    if phase not in COORDINATOR_PHASES:
+        raise ValueError(
+            f"unknown coordinator phase {phase!r}; "
+            f"known: {', '.join(COORDINATOR_PHASES)}"
+        )
+    return FaultPlan(
+        specs=(
+            FaultSpec(
+                kind="coordinator.crash",
+                probability=1.0,
+                scope=f"coordinator/{phase}/*",
+            ),
+        ),
         seed=seed,
     )
 

@@ -10,7 +10,9 @@ computed by :func:`slo_report`:
   checked against the configured targets;
 - availability from the request counter (a response is an *error* only
   when its status is 5xx: 4xx means the caller was wrong, the service
-  still did its job);
+  still did its job).  504 is carved out of the 5xx family: a deadline
+  shed means the *client's* budget expired, so it surfaces in the
+  ``shed`` block instead of burning the availability error budget;
 - the error budget: with availability target ``a``, the budget is the
   fraction ``1 - a`` of requests allowed to fail.  ``consumed`` is the
   fraction of that budget already spent, and ``burn_rate`` is the
@@ -198,13 +200,18 @@ def slo_report(
 
     total = 0.0
     errors = 0.0
+    shed_responses = 0.0
     requests_total = registry.get("repro_service_requests_total")
     if requests_total is not None:
         for child in requests_total.children():
             value = getattr(child, "value", 0.0)
             total += value
             status = child.label_values.get("status", "")
-            if status.startswith("5"):
+            if status == "504":
+                # The client's deadline expired before we could serve it;
+                # shed work is reported distinctly, not as unavailability.
+                shed_responses += value
+            elif status.startswith("5"):
                 errors += value
     observed_availability = 1.0 - (errors / total) if total else 1.0
     availability: dict[str, object] = {
@@ -234,6 +241,23 @@ def slo_report(
             violations.append("availability:target-is-1.0")
 
     report["availability"] = availability
+
+    # Load shedding is deliberate, visible work refusal — never folded
+    # into the error budget, always its own line in the report.
+    shed_stages: dict[str, int] = {}
+    shed_total = registry.get("repro_requests_shed_total")
+    if shed_total is not None:
+        for child in shed_total.children():
+            value = getattr(child, "value", 0.0)
+            if value:
+                stage = child.label_values.get("stage", "?")
+                shed_stages[stage] = shed_stages.get(stage, 0) + int(value)
+    report["shed"] = {
+        "total": sum(shed_stages.values()),
+        "stages": dict(sorted(shed_stages.items())),
+        "responses_504": int(shed_responses),
+    }
+
     report["violations"] = sorted(violations)
     report["ok"] = not violations
     return report

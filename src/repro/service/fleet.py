@@ -95,6 +95,10 @@ _HEARTBEAT_AGE = _REGISTRY.gauge(
 #: the supervisor's log line, distinguishing planned chaos from SIGKILL).
 CRASH_EXIT_CODE = 73
 
+#: How often an idle worker wakes from ``tasks.get`` to check that its
+#: supervisor is still alive (seconds).
+ORPHAN_CHECK_S = 1.0
+
 
 class FleetUnavailable(RuntimeError):
     """No fleet worker could be spawned (or every worker died and no
@@ -164,14 +168,26 @@ def _fleet_worker_main(
     Protocol: read ``(generation, chunk_index, attempt, chunk)`` tasks
     until the ``None`` sentinel; answer each with
     ``("done", worker_id, generation, chunk_index, attempt, result)``.
-    Heartbeats flow from the beater thread the whole time."""
+    Heartbeats flow from the beater thread the whole time.
+
+    A worker whose supervisor vanishes (e.g. a SIGKILL'd coordinator,
+    which never gets to send the shutdown sentinel) is reparented to
+    init; the idle loop notices the parent pid changed and exits, so a
+    crashed coordinator leaves no orphan processes pinning the machine
+    while the operator restarts it with ``--recover``."""
     from repro.faults import injector
 
     beater = _Beater(worker_id, results, heartbeat_s)
     beater.start()
     _init_worker(setup)
+    parent = os.getppid()
     while True:
-        task = tasks.get()
+        try:
+            task = tasks.get(timeout=ORPHAN_CHECK_S)
+        except queue.Empty:
+            if os.getppid() != parent:
+                break  # supervisor died without a sentinel: orphaned
+            continue
         if task is None:
             break
         generation, chunk_index, attempt, chunk = task

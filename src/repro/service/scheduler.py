@@ -30,6 +30,26 @@ result store are keyed by (benchmark, configuration) alone, which is
 sound precisely because retried fail-stop faults reproduce the
 fault-free bytes.  A corrupting per-request plan would poison shared
 state, so :meth:`CampaignScheduler.submit` rejects it.
+
+PR 8 adds two more:
+
+**Deadline propagation + load shedding.**  A request may carry an
+absolute deadline (on the scheduler's injectable clock).  Coalesced
+requests relax the shared job's deadline (latest wins; no-deadline
+wins outright), and the dispatch loop sheds any job whose deadline has
+already passed *before* it reaches the engine — resolved with
+:class:`DeadlineExceeded` (HTTP 504), journalled as ``shed``, and
+counted in ``repro_requests_shed_total``.  Never a silent drop: an
+expired request always produces a response, a journal row, and a
+metric increment.
+
+**Journal coupling + recovery priority.**  Jobs carry the journal
+request keys riding on them; a batch's keys are marked ``done`` in the
+same SQLite transaction that persists its records
+(:meth:`ResultStore.commit_batch`), and recovery replays submit with
+``recovery=True``, which bypasses the ``max_pending`` admission bound —
+under overload the server degrades by priority (finish what it already
+owes before taking on more) instead of collapsing.
 """
 
 from __future__ import annotations
@@ -38,12 +58,12 @@ import asyncio
 import time
 from concurrent.futures import ThreadPoolExecutor
 from contextlib import nullcontext
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional, Sequence
 
 from repro.core.results import RunResult
 from repro.core.study import Study
-from repro.faults.injector import injected
+from repro.faults.injector import coordinator_fault_point, injected
 from repro.faults.plan import FaultPlan
 from repro.hardware.config import Configuration
 from repro.obs.metrics import default_registry
@@ -82,6 +102,10 @@ _JOB_SECONDS = _REGISTRY.histogram(
     "repro_service_job_seconds",
     "Amortised wall seconds per job (batch seconds / batch pairs)",
 )
+SHED_TOTAL = _REGISTRY.counter(
+    "repro_requests_shed_total",
+    "Requests shed because their deadline expired before dispatch, by stage",
+)
 
 #: Quantile-informed Retry-After needs this many job-seconds samples
 #: before the p95 estimate is trusted over the EWMA.
@@ -107,6 +131,19 @@ class _Job:
     plan: Optional[FaultPlan]
     submit_span_id: Optional[int] = None
     enqueued_perf: float = 0.0
+    #: Journal request keys riding this job (the first submitter's plus
+    #: every coalescer's) — marked done/shed/failed when it resolves.
+    request_keys: list[str] = field(default_factory=list)
+    #: Absolute deadline on the scheduler clock; ``None`` = unbounded.
+    #: Coalescing relaxes it (latest wins, no-deadline wins outright) so
+    #: a shed can never 504 a waiter who asked for no deadline.
+    deadline: Optional[float] = None
+    #: Recovery replays bypass the admission bound (they are work the
+    #: server already owes) and are flagged for the ops view.
+    recovery: bool = False
+    #: HTTP requests awaiting this job (1 + coalescers), so a shed can
+    #: count every affected request, not just the job.
+    waiters: int = 1
 
 
 class SchedulerError(RuntimeError):
@@ -133,6 +170,13 @@ class InvalidPlan(SchedulerError):
 
 class MeasurementFailed(SchedulerError):
     """The pair exhausted its retries and was quarantined."""
+
+
+class DeadlineExceeded(SchedulerError):
+    """The request's deadline expired before its work was dispatched.
+
+    The HTTP layer maps this to 504: the client's budget ran out while
+    the job sat in the queue, so the engine was never invoked for it."""
 
 
 class CampaignScheduler:
@@ -175,10 +219,16 @@ class CampaignScheduler:
         self.coalesced = 0
         self.rejected = 0
         self.failed = 0
+        self.shed = 0
 
     @property
     def study(self) -> Study:
         return self._study
+
+    def now(self) -> float:
+        """The scheduler's clock — the timebase request deadlines live on
+        (injectable, so tests can expire deadlines without sleeping)."""
+        return self._clock()
 
     @property
     def pending(self) -> int:
@@ -205,12 +255,19 @@ class CampaignScheduler:
     def inflight_snapshot(self) -> list[dict[str, object]]:
         """The in-flight job table (queued + measuring) for the ops view."""
         now = time.perf_counter()
+        clock_now = self._clock()
         return [
             {
                 "benchmark": job.benchmark.name,
                 "config": job.config.key,
                 "plan": job.key[2],
                 "age_s": round(now - job.enqueued_perf, 3),
+                "deadline_s": (
+                    None
+                    if job.deadline is None
+                    else round(job.deadline - clock_now, 3)
+                ),
+                "recovery": job.recovery,
             }
             for job in self._jobs_meta.values()
         ]
@@ -288,6 +345,7 @@ class CampaignScheduler:
             "coalesced": self.coalesced,
             "rejected": self.rejected,
             "failed": self.failed,
+            "shed": self.shed,
             "quarantined": len(self._study.quarantined),
             "store_records": len(self._store) if self._store is not None else 0,
             "drain_timed_out": timed_out,
@@ -313,12 +371,26 @@ class CampaignScheduler:
         benchmark: Benchmark,
         config: Configuration,
         plan: Optional[FaultPlan] = None,
+        *,
+        request_key: Optional[str] = None,
+        deadline: Optional[float] = None,
+        recovery: bool = False,
     ) -> RunResult:
         """One measurement request: coalesced, admitted, and awaited.
 
-        Raises :class:`Draining`, :class:`Saturated`, :class:`InvalidPlan`
-        at submit time and :class:`MeasurementFailed` when the pair
-        exhausts its retries.
+        ``request_key`` is the request's journal key (already admitted by
+        the server); it rides the job so completion can be marked in the
+        record-persisting transaction.  ``deadline`` is absolute on the
+        scheduler clock; expired work is shed with
+        :class:`DeadlineExceeded` instead of reaching the engine.
+        ``recovery=True`` marks a journal replay: it bypasses the
+        ``max_pending`` bound, because replays are work the server
+        already accepted — shedding *new* work first is the priority
+        order that keeps overload from collapsing into lost history.
+
+        Raises :class:`Draining`, :class:`Saturated`, :class:`InvalidPlan`,
+        :class:`DeadlineExceeded` at submit time and
+        :class:`MeasurementFailed` when the pair exhausts its retries.
         """
         if self._wake is None:
             raise RuntimeError("scheduler not started")
@@ -335,14 +407,33 @@ class CampaignScheduler:
                     "per-request fault plans must be fail-stop only "
                     "(corrupting faults would poison the shared result cache)"
                 )
+            if deadline is not None and deadline <= self._clock():
+                # Dead on arrival: journal it as shed and refuse before
+                # any queue state exists for it.
+                self._count_shed("admit", 1, [request_key] if request_key else [])
+                raise DeadlineExceeded(
+                    "deadline expired before the request could be queued"
+                )
             key = self.job_key(benchmark, config, plan)
             future = self._inflight.get(key)
             if future is not None:
                 self.coalesced += 1
                 _COALESCED.inc()
                 span.set_attribute("coalesced", True)
+                job = self._jobs_meta.get(key)
+                if job is not None:
+                    job.waiters += 1
+                    if request_key is not None:
+                        job.request_keys.append(request_key)
+                    # Latest deadline wins; a no-deadline waiter unbounds
+                    # the job (shedding it would 504 that waiter).
+                    if job.deadline is not None:
+                        job.deadline = (
+                            None if deadline is None
+                            else max(job.deadline, deadline)
+                        )
                 return await future
-            if len(self._inflight) >= self._max_pending:
+            if not recovery and len(self._inflight) >= self._max_pending:
                 self.rejected += 1
                 _REJECTED.labels(reason="saturated").inc()
                 raise Saturated(len(self._inflight), self.retry_after_s())
@@ -355,6 +446,9 @@ class CampaignScheduler:
                 plan=plan,
                 submit_span_id=span.span_id,
                 enqueued_perf=time.perf_counter(),
+                request_keys=[request_key] if request_key is not None else [],
+                deadline=deadline,
+                recovery=recovery,
             )
             self._jobs_meta[key] = job
             self._queue.append(job)
@@ -362,6 +456,17 @@ class CampaignScheduler:
             _PENDING.set(len(self._inflight))
             self._wake.set()
             return await future
+
+    def _count_shed(
+        self, stage: str, requests: int, request_keys: Sequence[str]
+    ) -> None:
+        """Account for shed work: metric + journal, never silent."""
+        self.shed += requests
+        SHED_TOTAL.labels(stage=stage).inc(requests)
+        if self._store is not None and request_keys:
+            self._store.journal_shed(
+                request_keys, f"deadline expired before {stage}"
+            )
 
     # -- dispatch --------------------------------------------------------------
 
@@ -378,15 +483,47 @@ class CampaignScheduler:
                 await self._wake.wait()
                 continue
             batch, self._queue = self._queue, []
+            coordinator_fault_point("schedule")
+            # Load shedding: a job whose deadline has already passed is
+            # resolved (504) and journalled *here*, before the engine is
+            # ever invoked for it — the shed is counted, never silent.
+            # (The clock is only read when a deadline exists: tests
+            # inject finite tick sequences for the drain path.)
+            live: list[_Job] = batch
+            if any(job.deadline is not None for job in batch):
+                now = self._clock()
+                live = []
+                for job in batch:
+                    if job.deadline is not None and job.deadline <= now:
+                        self._count_shed(
+                            "dispatch", job.waiters, job.request_keys
+                        )
+                        self._resolve(
+                            job.key,
+                            error=DeadlineExceeded(
+                                "deadline expired while the job was queued; "
+                                "shed before dispatch"
+                            ),
+                        )
+                    else:
+                        live.append(job)
             # One sweep per distinct plan: the injector is process-global,
             # so a batch's plan must be uniform while it measures.
             groups: dict[Optional[str], list[_Job]] = {}
-            for job in batch:
+            for job in live:
                 groups.setdefault(job.key[2], []).append(job)
             for jobs in groups.values():
                 plan = jobs[0].plan
                 pairs = [(job.benchmark, job.config) for job in jobs]
                 schedule_spans = self._record_schedule_spans(jobs)
+                # Snapshot each pair's journal keys on the event loop —
+                # the measurement thread marks exactly these done in the
+                # record-persisting transaction; coalescers who attach
+                # later are completed (idempotently) at resolve time.
+                batch_keys = {
+                    (job.benchmark.name, job.config.key): list(job.request_keys)
+                    for job in jobs
+                }
                 started = time.perf_counter()
                 try:
                     results, failures = await loop.run_in_executor(
@@ -395,6 +532,7 @@ class CampaignScheduler:
                         plan,
                         pairs,
                         schedule_spans,
+                        batch_keys,
                     )
                 except asyncio.CancelledError:
                     # Drain escalation: leave the jobs unresolved so the
@@ -462,8 +600,9 @@ class CampaignScheduler:
         error: Optional[BaseException] = None,
     ) -> None:
         future = self._inflight.pop(key, None)
-        self._jobs_meta.pop(key, None)
+        job = self._jobs_meta.pop(key, None)
         _PENDING.set(len(self._inflight))
+        self._journal_transition(job, error)
         if future is None or future.done():
             return
         if error is not None:
@@ -472,11 +611,34 @@ class CampaignScheduler:
             self.completed += 1
             future.set_result(result)
 
+    def _journal_transition(
+        self, job: Optional[_Job], error: Optional[BaseException]
+    ) -> None:
+        """Settle a resolving job's journal keys.  Every transition here
+        is idempotent (only ``pending`` rows move), so this can safely
+        overlap the batch transaction's own completions.
+
+        Draining and cancellation deliberately *leave the keys pending*:
+        a drain that expires mid-batch is exactly the crash-shaped case
+        the journal exists for, and recovery will replay those requests
+        byte-identically on the next ``--recover`` start."""
+        if job is None or self._store is None or not job.request_keys:
+            return
+        if error is None:
+            self._store.journal_complete(job.request_keys)
+        elif isinstance(error, DeadlineExceeded):
+            self._store.journal_shed(job.request_keys, str(error))
+        elif isinstance(error, (Draining, asyncio.CancelledError)):
+            pass
+        else:
+            self._store.journal_fail(job.request_keys, str(error))
+
     def _measure_batch(
         self,
         plan: Optional[FaultPlan],
         pairs: Sequence[tuple[Benchmark, Configuration]],
         schedule_spans: Optional[Mapping[tuple[str, str], int]] = None,
+        batch_keys: Optional[Mapping[tuple[str, str], Sequence[str]]] = None,
     ) -> tuple[dict[tuple[str, str], RunResult], dict[tuple[str, str], str]]:
         """Measure one batch on the measurement thread.
 
@@ -484,6 +646,13 @@ class CampaignScheduler:
         config key).  Newly measured records are persisted to the store
         before the event loop sees them, so a crash after a response was
         sent can never lose the record behind it.
+
+        ``batch_keys`` maps each pair to the journal request keys riding
+        it; the keys of *successful* pairs are marked ``done`` in the
+        same transaction that persists the batch's records
+        (:meth:`ResultStore.commit_batch`) — the exactly-once coupling.
+        A coordinator crash before that commit leaves every key pending
+        and no new rows visible; after it, both are durable together.
 
         ``run_in_executor`` does not carry contextvars onto this thread,
         so the batch span takes an explicit parent: the first job's
@@ -493,6 +662,7 @@ class CampaignScheduler:
         """
         tracer = default_tracer()
         schedule_spans = schedule_spans or {}
+        batch_keys = batch_keys or {}
         batch_parent = next(iter(schedule_spans.values()), None)
         with tracer.child_span(
             "service.batch",
@@ -500,6 +670,7 @@ class CampaignScheduler:
             pairs=len(pairs),
             plan=plan.fingerprint if plan is not None else None,
         ) as batch_span:
+            coordinator_fault_point("batch")
             scope = injected(plan) if plan is not None else nullcontext()
             with scope:
                 outcome = self._study.run_pairs(pairs, jobs=self._jobs)
@@ -512,9 +683,17 @@ class CampaignScheduler:
                     for key, result in results.items()
                     if key not in self._store
                 ]
+                done_keys = [
+                    request_key
+                    for pair_key in results
+                    for request_key in batch_keys.get(pair_key, ())
+                ]
                 store_started = time.perf_counter()
-                with tracer.span("store.put", records=len(fresh)):
-                    self._store.put_many(fresh)
+                coordinator_fault_point("store")
+                with tracer.span(
+                    "store.put", records=len(fresh), journal_done=len(done_keys)
+                ):
+                    self._store.commit_batch(fresh, done_keys)
                 observe_stage("store", time.perf_counter() - store_started)
         if batch_span.span_id is not None and schedule_spans:
             tracer.reparent_children(

@@ -37,11 +37,22 @@ the server is a cache in front of physics, not a new source of truth.
 On SIGTERM/SIGINT the server drains: it stops admitting measurements
 (``503`` for new ``POST``s), finishes every in-flight job, flushes the
 result store, and prints a final health report.
+
+The coordinator itself is crash-restartable (PR 8): every admitted
+``POST /measure`` is journalled durably *before* scheduling (keyed by
+the client's ``Idempotency-Key`` header or the request id), completions
+are marked in the same transaction that persists records, and a restart
+with ``recover=True`` replays unfinished entries byte-identically.
+Clients may bound their wait with an ``X-Deadline-Ms`` header; expired
+work is shed before dispatch with a ``504`` and counted in
+``repro_requests_shed_total``.  See docs/robustness.md ("coordinator
+recovery") for the journal lifecycle and the exactly-once argument.
 """
 
 from __future__ import annotations
 
 import asyncio
+import errno
 import json
 import signal
 import sys
@@ -54,6 +65,7 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.core.aggregation import group_means, weighted_average
 from repro.core.pareto import TradeoffPoint, pareto_efficient
 from repro.core.study import Study
+from repro.faults.injector import coordinator_fault_point
 from repro.faults.plan import (
     FaultPlan,
     demo_plan,
@@ -86,12 +98,14 @@ from repro.obs.tracing import default_tracer
 from repro.service.ratelimit import ClientRateLimiter
 from repro.service.scheduler import (
     CampaignScheduler,
+    DeadlineExceeded,
     Draining,
     InvalidPlan,
     MeasurementFailed,
     Saturated,
+    SchedulerError,
 )
-from repro.service.store import ResultStore
+from repro.service.store import JournalConflict, JournalEntry, ResultStore
 from repro.workloads.catalog import BENCHMARKS, benchmark
 
 _REGISTRY = default_registry()
@@ -103,20 +117,50 @@ _RATELIMITED = _REGISTRY.counter(
     "repro_service_ratelimited_total",
     "Measurement requests refused by per-client rate limiting",
 )
+_IDEMPOTENT_REPLAYS = _REGISTRY.counter(
+    "repro_idempotent_replays_total",
+    "Measure requests answered from the journal+store without any "
+    "engine work (their idempotency key was already done)",
+)
+_RECOVERY_REPLAYED = _REGISTRY.counter(
+    "repro_recovery_replayed_total",
+    "Journal entries found pending at --recover startup and resubmitted",
+)
+_RECOVERY_COMPLETED = _REGISTRY.counter(
+    "repro_recovery_completed_total",
+    "Recovery replays that completed with a durable result",
+)
+_RECOVERY_FAILED = _REGISTRY.counter(
+    "repro_recovery_failed_total",
+    "Recovery replays that could not be completed (unresolvable or "
+    "measurement failure)",
+)
 
 #: Maximum accepted request body (a measure request is a few hundred bytes).
 MAX_BODY_BYTES = 1 << 20
 #: Per-read timeout; a stalled client cannot pin a connection forever.
 IO_TIMEOUT_S = 30.0
+#: Idempotency keys are client-chosen strings; bound them so the journal
+#: cannot be grown by a single pathological header.
+MAX_IDEMPOTENCY_KEY_CHARS = 128
+
+#: Bind retries on EADDRINUSE: rapid kill -> recover cycles can race the
+#: kernel's release of the dead server's listening socket, so the new
+#: incarnation backs off briefly instead of flaking.  6 attempts with
+#: doubling backoff from 50 ms waits ~1.6 s in total before giving up.
+BIND_ATTEMPTS = 6
+BIND_BACKOFF_S = 0.05
 
 _REASONS = {
     200: "OK",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     429: "Too Many Requests",
     500: "Internal Server Error",
     503: "Service Unavailable",
+    504: "Gateway Timeout",
 }
 
 
@@ -218,6 +262,7 @@ class CampaignServer:
         trace_requests: bool = True,
         trace_capacity: int = 256,
         drain_timeout: Optional[float] = None,
+        recover: bool = False,
     ) -> None:
         self._study = study if study is not None else Study()
         self._host = host
@@ -237,6 +282,10 @@ class CampaignServer:
         self._server: Optional[asyncio.base_events.Server] = None
         self._started_monotonic = 0.0
         self.restored = 0  # records warm-started from the store
+        self._recover = recover
+        self._recovery_tasks: list[asyncio.Task] = []
+        #: Recovery progress for /healthz: replays found, finished, failed.
+        self.recovery = {"replayed": 0, "completed": 0, "failed": 0}
         self._slo = parse_slo(slo) if isinstance(slo, str) else slo
         self._trace_requests = trace_requests
         self._traces = TraceStore(capacity=trace_capacity)
@@ -268,7 +317,12 @@ class CampaignServer:
         return self._scheduler
 
     async def start(self) -> None:
-        """Bind the store, warm-start the study, and open the socket."""
+        """Bind the store, warm-start the study, and open the socket.
+
+        With ``recover=True``, every journal entry left ``pending`` by
+        the previous incarnation is resubmitted through the scheduler
+        (as priority work) before the socket opens, so replays are first
+        in the queue ahead of any fresh traffic."""
         if self._fingerprint is not None:
             self._store.check_fingerprint(self._fingerprint)
         if self._trace_requests:
@@ -277,11 +331,99 @@ class CampaignServer:
             tracer.enable()
         self.restored = self._store.warm_start(self._study)
         await self._scheduler.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection, self._host, self._port
-        )
+        if self._recover:
+            self._start_recovery()
+        self._server = await self._bind()
         self._port = self._server.sockets[0].getsockname()[1]
         self._started_monotonic = time.monotonic()
+
+    async def _bind(self) -> asyncio.base_events.Server:
+        """Open the listening socket, retrying EADDRINUSE with bounded
+        backoff — a freshly killed incarnation's socket can outlive the
+        process for a moment, and a crash-restart loop must not flake on
+        that race."""
+        for attempt in range(BIND_ATTEMPTS):
+            try:
+                return await asyncio.start_server(
+                    self._handle_connection, self._host, self._port
+                )
+            except OSError as exc:
+                if (
+                    exc.errno != errno.EADDRINUSE
+                    or attempt == BIND_ATTEMPTS - 1
+                ):
+                    raise
+                await asyncio.sleep(BIND_BACKOFF_S * (2 ** attempt))
+        raise RuntimeError("unreachable")  # pragma: no cover
+
+    def _start_recovery(self) -> None:
+        """Resubmit every pending journal entry as a recovery replay.
+
+        Entries that no longer parse (an unknown benchmark or
+        configuration — the store predates a catalog change) are marked
+        ``failed`` with the reason rather than crash-looping the server.
+        Each replay runs with ``recovery=True`` so it bypasses the
+        admission bound: this is work the previous incarnation already
+        accepted, and it outranks fresh arrivals under overload."""
+        for entry in self._store.journal_pending():
+            try:
+                bench, config, plan = self._resolve_journal_entry(entry)
+            except (KeyError, ValueError) as exc:
+                self._store.journal_fail(
+                    [entry.request_key], f"unresolvable at recovery: {exc}"
+                )
+                self.recovery["failed"] += 1
+                _RECOVERY_FAILED.inc()
+                continue
+            self.recovery["replayed"] += 1
+            _RECOVERY_REPLAYED.inc()
+            self._recovery_tasks.append(
+                asyncio.get_running_loop().create_task(
+                    self._replay(entry, bench, config, plan),
+                    name=f"repro-recover-{entry.request_key}",
+                )
+            )
+
+    def _resolve_journal_entry(self, entry: JournalEntry):
+        bench = benchmark(entry.benchmark)
+        config = self._configs_by_key.get(entry.config)
+        if config is None:
+            raise KeyError(f"unknown configuration key {entry.config!r}")
+        plan = (
+            FaultPlan.from_dict(json.loads(entry.plan))
+            if entry.plan is not None
+            else None
+        )
+        return bench, config, plan
+
+    async def _replay(
+        self,
+        entry: JournalEntry,
+        bench,
+        config,
+        plan: Optional[FaultPlan],
+    ) -> None:
+        """One recovery replay.  Completion/failure lands in the journal
+        through the scheduler's normal resolve path; a drain mid-replay
+        leaves the entry pending for the *next* recovery — replays are
+        at-least-once, and the journal+store transaction makes their
+        effects exactly-once."""
+        try:
+            await self._scheduler.submit(
+                bench,
+                config,
+                plan,
+                request_key=entry.request_key,
+                recovery=True,
+            )
+        except Draining:
+            pass  # still pending; the next --recover finishes it
+        except SchedulerError:
+            self.recovery["failed"] += 1
+            _RECOVERY_FAILED.inc()
+        else:
+            self.recovery["completed"] += 1
+            _RECOVERY_COMPLETED.inc()
 
     async def shutdown(self) -> dict[str, object]:
         """Graceful drain: finish in-flight jobs, flush, close, report.
@@ -289,6 +431,10 @@ class CampaignServer:
         Bounded by the server's ``drain_timeout`` (``None`` waits for
         in-flight measurements indefinitely, the pre-PR-7 behaviour)."""
         summary = await self._scheduler.drain(deadline_s=self._drain_timeout)
+        if self._recovery_tasks:
+            await asyncio.gather(*self._recovery_tasks, return_exceptions=True)
+            self._recovery_tasks = []
+        journal_pending = self._store.journal_counts()["pending"]
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -300,7 +446,12 @@ class CampaignServer:
         if self._owns_event_log and self._event_log is not None:
             self._event_log.close()
             self._event_log = None
-        return {"restored": self.restored, **summary}
+        return {
+            "restored": self.restored,
+            **summary,
+            "recovered": self.recovery["completed"],
+            "journal_pending": journal_pending,
+        }
 
     # -- connection handling ---------------------------------------------------
 
@@ -418,7 +569,7 @@ class CampaignServer:
         tracer = default_tracer()
         ctx: dict[str, object] = {}
         if not (self._trace_requests and tracer.is_enabled):
-            response = await self._measure(request, ctx)
+            response = await self._measure(request, ctx, request_id=request_id)
             self._log_event(request, response, request_id, None, ctx)
             return replace(
                 response,
@@ -434,7 +585,7 @@ class CampaignServer:
             trace_id=trace_id,
             remote_parent=remote.span_id if remote is not None else None,
         ) as root:
-            response = await self._measure(request, ctx)
+            response = await self._measure(request, ctx, request_id=request_id)
             root.set_attribute("status", response.status)
         # Archive the Span objects as-is: dict conversion happens on the
         # cold /trace read path, keeping it off the per-request one.
@@ -482,6 +633,7 @@ class CampaignServer:
             "benchmark": bench,
             "config": config,
             "plan": ctx.get("plan"),
+            "request_key": ctx.get("request_key"),
             "store_row": (
                 self._store.rowid(str(bench), str(config))
                 if response.status == 200 and bench and config
@@ -495,7 +647,10 @@ class CampaignServer:
             pass
 
     async def _measure(
-        self, request: Request, ctx: Optional[dict[str, object]] = None
+        self,
+        request: Request,
+        ctx: Optional[dict[str, object]] = None,
+        request_id: Optional[str] = None,
     ) -> Response:
         tracer = default_tracer()
         admission_started = time.perf_counter()
@@ -511,33 +666,139 @@ class CampaignServer:
                     )
                 try:
                     bench, config, plan = self._parse_measure_body(request.body)
+                    request_key = self._parse_idempotency_key(request)
+                    budget_s = self._parse_deadline_budget(request)
                 except BadRequest as exc:
                     return _error(400, str(exc))
             finally:
                 observe_stage(
                     "admission", time.perf_counter() - admission_started
                 )
+        if request_key is None:
+            # No client key: the request id is the journal identity (a
+            # fresh one per request, so no accidental dedup).
+            request_key = request_id if request_id is not None else new_request_id()
         if ctx is not None:
             ctx["benchmark"] = bench.name
             ctx["config"] = config.key
             ctx["plan"] = plan.fingerprint if plan is not None else None
+            ctx["request_key"] = request_key
+        # Write-ahead journal: the request is durable *before* it is
+        # scheduled.  From here on, a coordinator crash cannot lose it —
+        # recovery replays every key still pending.
         try:
-            result = await self._scheduler.submit(bench, config, plan)
+            prior = self._store.journal_admit(
+                request_key,
+                bench.name,
+                config.key,
+                plan=(
+                    json.dumps(plan.as_dict(), sort_keys=True)
+                    if plan is not None
+                    else None
+                ),
+                plan_fp=plan.fingerprint if plan is not None else None,
+            )
+        except JournalConflict as exc:
+            return _error(409, str(exc))
+        coordinator_fault_point("admit")
+        if prior == "done":
+            # Exactly-once effects: the key's result is already durable,
+            # so the retry is answered from the store with zero engine
+            # work (and no duplicate execution, by construction).
+            stored = self._store.get(bench.name, config.key)
+            if stored is not None:
+                _IDEMPOTENT_REPLAYS.inc()
+                return Response(
+                    200,
+                    json.dumps(stored.as_record()).encode("utf-8"),
+                    headers=(("Idempotent-Replay", "true"),),
+                )
+        deadline = (
+            self._scheduler.now() + budget_s if budget_s is not None else None
+        )
+        try:
+            result = await self._scheduler.submit(
+                bench,
+                config,
+                plan,
+                request_key=request_key,
+                deadline=deadline,
+            )
         except Draining:
+            # Refused before it was queued: terminal in the journal (the
+            # client got a clear 503 and may retry the same key later).
+            self._store.journal_fail([request_key], "server draining")
             return _error(503, "server is draining; no new measurements")
         except Saturated as exc:
+            self._store.journal_fail([request_key], "queue full")
             return _error(
                 429,
                 "measurement queue is full",
                 retry_after_s=exc.retry_after_s,
             )
         except InvalidPlan as exc:
+            self._store.journal_fail([request_key], str(exc))
             return _error(400, str(exc))
+        except DeadlineExceeded as exc:
+            # Already journalled as shed and counted by the scheduler —
+            # a 504 is the "never silent" client half of the contract.
+            return _error(504, str(exc))
         except MeasurementFailed as exc:
             return _error(500, f"measurement failed: {exc}")
         # The byte-identity contract: exactly json.dumps(as_record()),
         # the same bytes a sequential Study.run record serialises to.
         return Response(200, json.dumps(result.as_record()).encode("utf-8"))
+
+    @staticmethod
+    def _parse_idempotency_key(request: Request) -> Optional[str]:
+        """The client's ``Idempotency-Key`` header, validated, or None."""
+        raw = request.headers.get("idempotency-key")
+        if raw is None:
+            return None
+        key = raw.strip()
+        if not key:
+            raise BadRequest("'Idempotency-Key' must not be empty")
+        if len(key) > MAX_IDEMPOTENCY_KEY_CHARS:
+            raise BadRequest(
+                f"'Idempotency-Key' is limited to "
+                f"{MAX_IDEMPOTENCY_KEY_CHARS} characters"
+            )
+        return key
+
+    @staticmethod
+    def _parse_deadline_budget(request: Request) -> Optional[float]:
+        """The ``X-Deadline-Ms`` header as a seconds budget, or None."""
+        raw = request.headers.get("x-deadline-ms")
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except ValueError as exc:
+            raise BadRequest(
+                f"'X-Deadline-Ms' must be a number of milliseconds, "
+                f"got {raw!r}"
+            ) from exc
+        if not (0 < budget_ms < float("inf")):  # rejects NaN, inf, <= 0
+            raise BadRequest("'X-Deadline-Ms' must be a positive finite number")
+        return budget_ms / 1000.0
+
+    #: Every field POST /measure understands; anything else is a 400.
+    #: A misspelt field silently ignored would measure the wrong thing
+    #: and cache it under the wrong identity — refusing loudly is the
+    #: only response that cannot corrupt a client's dataset.
+    MEASURE_FIELDS = frozenset(
+        {
+            "benchmark",
+            "config",
+            "processor",
+            "cores",
+            "threads",
+            "clock",
+            "turbo",
+            "inject",
+            "iterations",
+        }
+    )
 
     def _parse_measure_body(self, body: bytes):
         try:
@@ -546,6 +807,12 @@ class CampaignServer:
             raise BadRequest(f"body is not valid JSON: {exc}") from exc
         if not isinstance(payload, dict):
             raise BadRequest("body must be a JSON object")
+        unknown = sorted(set(payload) - self.MEASURE_FIELDS)
+        if unknown:
+            raise BadRequest(
+                f"unknown field(s) {', '.join(repr(f) for f in unknown)}; "
+                f"accepted: {', '.join(sorted(self.MEASURE_FIELDS))}"
+            )
         name = payload.get("benchmark")
         if not isinstance(name, str):
             raise BadRequest("missing required field 'benchmark'")
@@ -675,12 +942,15 @@ class CampaignServer:
             "coalesced": self._scheduler.coalesced,
             "rejected": self._scheduler.rejected,
             "failed": self._scheduler.failed,
+            "shed": self._scheduler.shed,
             "cached_pairs": self._study.cached_pairs,
             "quarantined": len(self._study.quarantined),
             "store_records": len(self._store),
             "restored": self.restored,
             "in_flight": self._scheduler.inflight_snapshot(),
             "fleet": self._study.fleet_snapshot(),
+            "journal": self._store.journal_counts(),
+            "recovery": dict(self.recovery),
         }
 
     async def _metrics(self, request: Request) -> Response:
@@ -764,9 +1034,15 @@ async def serve_async(
             installed.append(sig)
         except (NotImplementedError, RuntimeError):  # pragma: no cover
             pass  # platform without signal support; Ctrl-C still raises
+    recovery_note = (
+        f", recovering {server.recovery['replayed']} journalled requests"
+        if server.recovery["replayed"]
+        else ""
+    )
     print(
         f"serving on http://{server.host}:{server.port} "
-        f"(store: {server.store.path}, warm-started {server.restored} records)",
+        f"(store: {server.store.path}, warm-started {server.restored} "
+        f"records{recovery_note})",
         file=stream,
         flush=True,
     )

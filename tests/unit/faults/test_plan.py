@@ -5,6 +5,8 @@ import math
 import pytest
 
 from repro.faults.plan import (
+    COORDINATOR_KINDS,
+    COORDINATOR_PHASES,
     CORRUPTING_KINDS,
     DEFAULT_MAGNITUDES,
     FAIL_STOP_KINDS,
@@ -12,6 +14,7 @@ from repro.faults.plan import (
     PROCESS_KINDS,
     FaultPlan,
     FaultSpec,
+    coordinator_crash_plan,
     demo_plan,
     fail_stop_plan,
     plan_from_arg,
@@ -84,12 +87,16 @@ class TestFaultPlan:
         assert not demo_plan().fail_stop_only
 
     def test_taxonomy_is_partitioned(self):
-        assert set(FAIL_STOP_KINDS).isdisjoint(CORRUPTING_KINDS)
-        assert set(FAIL_STOP_KINDS).isdisjoint(PROCESS_KINDS)
-        assert set(CORRUPTING_KINDS).isdisjoint(PROCESS_KINDS)
-        assert set(KNOWN_KINDS) == (
-            set(FAIL_STOP_KINDS) | set(CORRUPTING_KINDS) | set(PROCESS_KINDS)
+        families = (
+            FAIL_STOP_KINDS,
+            CORRUPTING_KINDS,
+            PROCESS_KINDS,
+            COORDINATOR_KINDS,
         )
+        for i, a in enumerate(families):
+            for b in families[i + 1:]:
+                assert set(a).isdisjoint(b)
+        assert set(KNOWN_KINDS) == set().union(*map(set, families))
 
     def test_worker_kinds_are_fail_stop_safe(self):
         """Process-level faults never corrupt a completed sample — the
@@ -145,5 +152,42 @@ class TestFaultPlan:
         assert plan_from_arg(str(path)) == demo_plan(0.5, seed="file")
 
     def test_canned_plans_cover_the_taxonomy(self):
-        assert {s.kind for s in demo_plan().specs} == set(KNOWN_KINDS)
+        # demo is armable on a live server, so it excludes the kinds
+        # that would kill (or wedge) the serving process itself.
+        assert {s.kind for s in demo_plan().specs} == (
+            set(KNOWN_KINDS) - set(COORDINATOR_KINDS)
+        )
         assert {s.kind for s in fail_stop_plan().specs} == set(FAIL_STOP_KINDS)
+
+    def test_coordinator_kinds_are_not_fail_stop_safe(self):
+        """A per-request plan must never be able to kill the coordinator:
+        retrying a request whose plan crashed the server cannot reproduce
+        fault-free bytes (the server is gone)."""
+        crash = FaultPlan(
+            specs=(FaultSpec(kind="coordinator.crash", probability=0.1),)
+        )
+        stall = FaultPlan(
+            specs=(FaultSpec(kind="coordinator.stall", probability=0.1),)
+        )
+        assert not crash.fail_stop_only
+        assert not stall.fail_stop_only
+
+    @pytest.mark.parametrize("phase", COORDINATOR_PHASES)
+    def test_coordinator_crash_plan_scopes_one_phase(self, phase):
+        plan = coordinator_crash_plan(phase)
+        (spec,) = plan.specs
+        assert spec.kind == "coordinator.crash"
+        assert spec.probability == 1.0
+        assert spec.applies_to(f"coordinator/{phase}/0")
+        assert spec.applies_to(f"coordinator/{phase}/7")
+        for other in COORDINATOR_PHASES:
+            if other != phase:
+                assert not spec.applies_to(f"coordinator/{other}/0")
+
+    def test_coordinator_crash_plan_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="unknown coordinator phase"):
+            coordinator_crash_plan("teardown")
+
+    def test_coordinator_stall_has_bounded_default_magnitude(self):
+        spec = FaultSpec(kind="coordinator.stall", probability=1.0)
+        assert 0.0 < spec.severity <= 1.0

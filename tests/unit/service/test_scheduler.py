@@ -17,6 +17,7 @@ from repro.hardware.catalog import ATOM_45, CORE2DUO_45, CORE_I7_45
 from repro.hardware.config import stock
 from repro.service.scheduler import (
     CampaignScheduler,
+    DeadlineExceeded,
     Draining,
     InvalidPlan,
     MeasurementFailed,
@@ -242,6 +243,204 @@ class TestFailuresAndPersistence:
             CampaignScheduler(_study(references), max_pending=0)
 
 
+class TestDeadlinesAndJournal:
+    """PR 8: deadline shedding, recovery priority, journal coupling."""
+
+    def test_dead_on_arrival_deadline_is_shed_at_submit(self, references):
+        ticks = [100.0]
+        store = ResultStore()
+        store.journal_admit("rk", MCF.name, I7.key)
+        scheduler = CampaignScheduler(
+            _study(references), store=store, clock=lambda: ticks[0]
+        )
+
+        async def main():
+            await scheduler.start()
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.submit(MCF, I7, request_key="rk", deadline=99.0)
+            await scheduler.drain()
+
+        _run(main())
+        assert scheduler.shed == 1
+        assert store.journal_entry("rk").status == "shed"
+
+    def test_expired_deadline_is_shed_before_dispatch(self, references):
+        ticks = [100.0]
+        store = ResultStore()
+        store.journal_admit("rk", MCF.name, I7.key)
+        scheduler = CampaignScheduler(
+            _study(references), store=store, clock=lambda: ticks[0]
+        )
+
+        async def main():
+            await scheduler.start()
+            task = asyncio.create_task(
+                scheduler.submit(MCF, I7, request_key="rk", deadline=105.0)
+            )
+            # Let the submit enqueue, then expire the deadline before the
+            # dispatcher gets the loop: the job must be shed, not run.
+            await asyncio.sleep(0)
+            ticks[0] = 200.0
+            with pytest.raises(DeadlineExceeded):
+                await task
+            await scheduler.drain()
+
+        _run(main())
+        assert scheduler.shed == 1
+        assert scheduler.completed == 0
+        assert store.journal_entry("rk").status == "shed"
+        # Shed before the engine: nothing was measured or stored.
+        assert scheduler.study.cached_pairs == 0
+        assert len(store) == 0
+
+    def test_no_deadline_waiter_unbounds_a_coalesced_job(self, references):
+        """A coalescer without a deadline must never be 504ed by the
+        first submitter's tighter budget."""
+        ticks = [100.0]
+        scheduler = CampaignScheduler(
+            _study(references), clock=lambda: ticks[0]
+        )
+
+        async def main():
+            await scheduler.start()
+            bounded = asyncio.create_task(
+                scheduler.submit(MCF, I7, deadline=105.0)
+            )
+            await asyncio.sleep(0)
+            unbounded = asyncio.create_task(scheduler.submit(MCF, I7))
+            await asyncio.sleep(0)
+            ticks[0] = 200.0
+            results = await asyncio.gather(bounded, unbounded)
+            await scheduler.drain()
+            return results
+
+        first, second = _run(main())
+        # The job ran (the shared deadline was relaxed to None), so both
+        # waiters — including the one whose budget had lapsed — got the
+        # result rather than a shed.
+        assert first == second
+        assert scheduler.shed == 0
+
+    def test_recovery_submits_bypass_saturation(self, references):
+        scheduler = CampaignScheduler(_study(references), max_pending=1)
+
+        async def main():
+            await scheduler.start()
+            first = asyncio.create_task(scheduler.submit(MCF, I7))
+            await asyncio.sleep(0)
+            # The table is full: a fresh request is refused...
+            with pytest.raises(Saturated):
+                await scheduler.submit(DB, ATOM)
+            # ...but a journal replay is admitted anyway: recovery work
+            # was already accepted once, so it outranks new arrivals.
+            replay = asyncio.create_task(
+                scheduler.submit(DB, ATOM, recovery=True)
+            )
+            results = await asyncio.gather(first, replay)
+            await scheduler.drain()
+            return results
+
+        results = _run(main())
+        assert len(results) == 2
+        assert scheduler.rejected == 1
+
+    def test_batch_commit_marks_journal_done(self, references):
+        store = ResultStore()
+        store.journal_admit("rk-mcf", MCF.name, I7.key)
+        store.journal_admit("rk-db", DB.name, ATOM.key)
+        scheduler = CampaignScheduler(_study(references), store=store)
+
+        async def main():
+            await scheduler.start()
+            results = await asyncio.gather(
+                scheduler.submit(MCF, I7, request_key="rk-mcf"),
+                scheduler.submit(DB, ATOM, request_key="rk-db"),
+            )
+            await scheduler.drain()
+            return results
+
+        results = _run(main())
+        counts = store.journal_counts()
+        assert counts["pending"] == 0
+        assert counts["done"] == 2
+        # The same transaction persisted the records the journal claims.
+        for result in results:
+            stored = store.get(result.benchmark_name, result.config_key)
+            assert json.dumps(stored.as_record()) == json.dumps(
+                result.as_record()
+            )
+
+    def test_failed_measurement_marks_journal_failed(self, references):
+        always_crash = FaultPlan(
+            specs=(FaultSpec(kind="invocation.crash", probability=1.0),),
+            seed="always",
+        )
+        store = ResultStore()
+        store.journal_admit(
+            "rk", MCF.name, I7.key, plan_fp=always_crash.fingerprint
+        )
+        study = _study(references, retry=RetryPolicy(max_retries=1))
+        scheduler = CampaignScheduler(study, store=store)
+
+        async def main():
+            await scheduler.start()
+            with pytest.raises(MeasurementFailed):
+                await scheduler.submit(
+                    MCF, I7, always_crash, request_key="rk"
+                )
+            await scheduler.drain()
+
+        _run(main())
+        entry = store.journal_entry("rk")
+        assert entry.status == "failed"
+        assert entry.detail
+
+    def test_drain_escalation_leaves_journal_pending(self, references):
+        """The satellite contract: a drain that expires mid-batch leaves
+        the journal pending, so a later --recover completes the work."""
+        import threading
+
+        started = threading.Event()
+        release = threading.Event()
+        store = ResultStore()
+        store.journal_admit("rk", MCF.name, I7.key)
+        ticks = iter([100.0, 1000.0])
+        scheduler = CampaignScheduler(
+            _study(references),
+            store=store,
+            clock=lambda: next(ticks, 1000.0),
+        )
+
+        def hung_measure(plan, pairs, schedule_spans, batch_keys=None):
+            started.set()
+            release.wait()
+            return {}, {}
+
+        scheduler._measure_batch = hung_measure
+
+        async def main():
+            await scheduler.start()
+            task = asyncio.create_task(
+                scheduler.submit(MCF, I7, request_key="rk")
+            )
+            await asyncio.get_running_loop().run_in_executor(
+                None, started.wait
+            )
+            summary = await scheduler.drain(deadline_s=5.0)
+            with pytest.raises(Draining):
+                await task
+            return summary
+
+        try:
+            summary = _run(main())
+        finally:
+            release.set()
+        assert summary["drain_timed_out"] is True
+        # Draining is crash-shaped, not terminal: the journal still owes
+        # this request, and recovery will replay it.
+        assert store.journal_entry("rk").status == "pending"
+
+
 class TestDrainDeadline:
     """``drain(deadline_s=...)``: the bounded-shutdown escalation path.
 
@@ -262,7 +461,7 @@ class TestDrainDeadline:
             _study(references), clock=lambda: next(ticks, 1000.0)
         )
 
-        def hung_measure(plan, pairs, schedule_spans):
+        def hung_measure(plan, pairs, schedule_spans, batch_keys=None):
             started.set()
             release.wait()  # wedged until the test cleans up
             return {}, {}

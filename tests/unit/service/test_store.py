@@ -8,7 +8,13 @@ from repro.core.study import Study, run_fingerprint
 from repro.faults.plan import fail_stop_plan
 from repro.hardware.catalog import ATOM_45, CORE_I7_45
 from repro.hardware.config import stock
-from repro.service.store import ResultStore, StoreError
+from repro.service.store import (
+    JOURNAL_SCHEMA_VERSION,
+    SCHEMA_VERSION,
+    JournalConflict,
+    ResultStore,
+    StoreError,
+)
 from repro.workloads.catalog import benchmark
 
 
@@ -85,6 +91,40 @@ class TestPersistence:
         with pytest.raises(StoreError, match="schema"):
             ResultStore(path)
 
+    def test_refusal_carries_a_hint(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store:
+            store.set_meta("schema_version", "999")
+        with pytest.raises(StoreError, match="fresh --store"):
+            ResultStore(path)
+
+    def test_v1_store_migrates_in_place(self, tmp_path, results):
+        """A pre-journal (PR 4-7) store opens cleanly: v2 only adds the
+        journal table, so existing rows and the fingerprint survive."""
+        path = tmp_path / "v1.sqlite"
+        with ResultStore(path) as store:
+            store.put_many(results)
+            store.set_meta("schema_version", "1")
+            store._conn.execute(
+                "DELETE FROM meta WHERE key = 'journal_schema_version'"
+            )
+            store._conn.execute("DROP TABLE journal")
+            store._conn.commit()
+        with ResultStore(path) as reopened:
+            assert reopened.get_meta("schema_version") == str(SCHEMA_VERSION)
+            assert reopened.get_meta("journal_schema_version") == str(
+                JOURNAL_SCHEMA_VERSION
+            )
+            assert len(reopened) == 2
+            assert reopened.journal_counts()["pending"] == 0
+
+    def test_journal_version_mismatch_refuses(self, tmp_path):
+        path = tmp_path / "store.sqlite"
+        with ResultStore(path) as store:
+            store.set_meta("journal_schema_version", "999")
+        with pytest.raises(StoreError, match="journal schema"):
+            ResultStore(path)
+
 
 class TestFingerprint:
     def test_fresh_store_adopts_fingerprint(self):
@@ -98,11 +138,15 @@ class TestFingerprint:
         with pytest.raises(StoreError, match="different run"):
             store.check_fingerprint(run_fingerprint(1.0))
 
-    def test_mismatched_plan_refuses(self):
+    def test_mismatched_plan_is_compatible(self):
+        """Stored bytes are plan-invariant (faulty invocations retry or
+        quarantine, never persist wrong), so a store written under a
+        fault plan warm-starts a plan-less server — crash recovery
+        depends on restarting without the plan that killed the
+        coordinator."""
         store = ResultStore()
         store.check_fingerprint(run_fingerprint(0.2, plan=fail_stop_plan()))
-        with pytest.raises(StoreError, match="fault_plan"):
-            store.check_fingerprint(run_fingerprint(0.2))
+        store.check_fingerprint(run_fingerprint(0.2))
 
 
 class TestWarmStart:
@@ -150,6 +194,134 @@ class TestWriteAheadLog:
         (mode,) = store._conn.execute("PRAGMA journal_mode").fetchone()
         assert mode != "wal"  # :memory: has no file to journal
         store.close()
+
+
+class TestJournal:
+    """The write-ahead request journal (PR 8)."""
+
+    def test_fresh_admit_is_pending(self):
+        with ResultStore() as store:
+            assert store.journal_admit("k1", "mcf", "cfg") == "new"
+            entry = store.journal_entry("k1")
+            assert entry.status == "pending"
+            assert entry.attempts == 1
+            assert entry.completed_s is None
+
+    def test_duplicate_admit_coalesces(self):
+        with ResultStore() as store:
+            store.journal_admit("k1", "mcf", "cfg")
+            assert store.journal_admit("k1", "mcf", "cfg") == "pending"
+            assert store.journal_entry("k1").attempts == 1
+
+    def test_key_reuse_for_different_request_conflicts(self):
+        with ResultStore() as store:
+            store.journal_admit("k1", "mcf", "cfg", plan_fp="abc")
+            with pytest.raises(JournalConflict, match="already used"):
+                store.journal_admit("k1", "db", "cfg", plan_fp="abc")
+            with pytest.raises(JournalConflict):
+                store.journal_admit("k1", "mcf", "other-cfg", plan_fp="abc")
+            with pytest.raises(JournalConflict):
+                store.journal_admit("k1", "mcf", "cfg", plan_fp=None)
+
+    def test_done_admit_reports_done(self):
+        with ResultStore() as store:
+            store.journal_admit("k1", "mcf", "cfg")
+            store.journal_complete(["k1"])
+            assert store.journal_admit("k1", "mcf", "cfg") == "done"
+            assert store.journal_entry("k1").status == "done"
+
+    @pytest.mark.parametrize("finish", ["journal_shed", "journal_fail"])
+    def test_terminal_retryable_states_reopen(self, finish):
+        with ResultStore() as store:
+            store.journal_admit("k1", "mcf", "cfg")
+            assert getattr(store, finish)(["k1"], "deadline") == 1
+            prior = store.journal_admit("k1", "mcf", "cfg")
+            assert prior in ("shed", "failed")
+            entry = store.journal_entry("k1")
+            assert entry.status == "pending"
+            assert entry.attempts == 2
+            assert entry.detail is None
+
+    def test_finish_only_touches_pending_rows(self):
+        with ResultStore() as store:
+            store.journal_admit("k1", "mcf", "cfg")
+            store.journal_complete(["k1"])
+            # A late shed/fail for an already-done key is a no-op.
+            assert store.journal_shed(["k1"], "late") == 0
+            assert store.journal_fail(["k1"], "late") == 0
+            assert store.journal_entry("k1").status == "done"
+
+    def test_pending_is_admission_ordered(self):
+        with ResultStore() as store:
+            for key in ("kb", "ka", "kc"):
+                store.journal_admit(key, "mcf", f"cfg-{key}")
+            store.journal_complete(["ka"])
+            pending = store.journal_pending()
+            assert [e.request_key for e in pending] == ["kb", "kc"]
+
+    def test_counts_cover_every_status(self):
+        with ResultStore() as store:
+            store.journal_admit("k1", "mcf", "cfg1")
+            store.journal_admit("k2", "mcf", "cfg2")
+            store.journal_admit("k3", "mcf", "cfg3")
+            store.journal_complete(["k1"])
+            store.journal_shed(["k2"], "expired")
+            assert store.journal_counts() == {
+                "pending": 1,
+                "done": 1,
+                "shed": 1,
+                "failed": 0,
+            }
+
+    def test_commit_batch_couples_records_and_completions(self, results):
+        """The exactly-once coupling: one call, one transaction, both the
+        result rows and the journal completions land together."""
+        with ResultStore() as store:
+            keys = []
+            for i, result in enumerate(results):
+                key = f"k{i}"
+                store.journal_admit(
+                    key, result.benchmark_name, result.config_key
+                )
+                keys.append(key)
+            assert store.commit_batch(results, keys) == 2
+            assert len(store) == 2
+            counts = store.journal_counts()
+            assert counts["pending"] == 0
+            assert counts["done"] == 2
+            for result in results:
+                read = store.get(result.benchmark_name, result.config_key)
+                assert json.dumps(read.as_record()) == json.dumps(
+                    result.as_record()
+                )
+
+    def test_commit_batch_survives_reopen(self, tmp_path, results):
+        path = tmp_path / "journal.sqlite"
+        with ResultStore(path) as store:
+            store.journal_admit("k1", results[0].benchmark_name,
+                                results[0].config_key)
+            store.journal_admit("k2", "never", "finished")
+            store.commit_batch([results[0]], ["k1"])
+        with ResultStore(path) as reopened:
+            assert reopened.journal_entry("k1").status == "done"
+            pending = reopened.journal_pending()
+            assert [e.request_key for e in pending] == ["k2"]
+
+    def test_plan_round_trips_through_journal(self):
+        plan = fail_stop_plan()
+        with ResultStore() as store:
+            store.journal_admit(
+                "k1",
+                "mcf",
+                "cfg",
+                plan=json.dumps(plan.as_dict(), sort_keys=True),
+                plan_fp=plan.fingerprint,
+            )
+            entry = store.journal_entry("k1")
+            from repro.faults.plan import FaultPlan
+
+            assert FaultPlan.from_dict(json.loads(entry.plan)) == plan
+            assert entry.plan_fp == plan.fingerprint
 
 
 class TestCrashConsistency:

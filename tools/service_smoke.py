@@ -33,6 +33,17 @@ respawn actually happened (``repro_fleet_worker_restarts_total`` on
 ``/metrics``, plus the ``/healthz`` worker table) and that every
 response body is byte-identical to the golden pass — worker death is
 invisible in the data.
+
+``--kill-coordinator`` runs the coordinator-crash scenario: a golden
+pass, then the same requests (each with an ``Idempotency-Key``) against
+a server armed with a ``coordinator.crash`` plan that kills the whole
+process at the first batch dispatch — admitted work dies journalled but
+unfinished.  Clients retry idempotently while a second server is
+started on the same port and store with ``--recover``.  Asserts the
+crash actually fired (exit code 86), every client eventually got 200
+with the byte-identical golden body, the journal drained to zero
+pending with no duplicates, and ``repro_recovery_*`` metrics recorded
+the replay.
 """
 
 from __future__ import annotations
@@ -41,12 +52,15 @@ import argparse
 import json
 import re
 import signal
+import socket
 import subprocess
 import sys
 import tempfile
+import time
 import urllib.error
 import urllib.request
 from concurrent.futures import ThreadPoolExecutor
+from http.client import HTTPException
 from pathlib import Path
 
 SERVE_ARGS = [
@@ -106,12 +120,14 @@ class Server:
         self.port = int(match.group(1))
 
     def request(self, method: str, path: str, body: dict | None = None,
-                client: str | None = None):
-        headers = {"X-Client-Id": client} if client else {}
+                client: str | None = None, headers: dict | None = None):
+        all_headers = dict(headers or {})
+        if client:
+            all_headers["X-Client-Id"] = client
         request = urllib.request.Request(
             f"http://127.0.0.1:{self.port}{path}",
             data=json.dumps(body).encode() if body is not None else None,
-            headers=headers,
+            headers=all_headers,
             method=method,
         )
         try:
@@ -120,8 +136,8 @@ class Server:
         except urllib.error.HTTPError as error:
             return error.code, dict(error.headers), error.read()
 
-    def measure(self, body: dict, client: str):
-        return self.request("POST", "/measure", body, client)
+    def measure(self, body: dict, client: str, headers: dict | None = None):
+        return self.request("POST", "/measure", body, client, headers)
 
     def terminate(self) -> tuple[int, str]:
         self.proc.send_signal(signal.SIGTERM)
@@ -131,10 +147,13 @@ class Server:
 
 def cleanup_stores(tmp: Path) -> None:
     """Remove the smoke stores plus every SQLite sidecar (WAL mode
-    leaves ``-wal``/``-shm`` next to the database)."""
+    leaves ``-wal``/``-shm`` next to the database) and any fault-plan
+    files the scenario wrote."""
     for db in list(tmp.glob("*.sqlite")):
         for suffix in ("", "-journal", "-wal", "-shm"):
             Path(str(db) + suffix).unlink(missing_ok=True)
+    for plan in list(tmp.glob("*.json")):
+        plan.unlink(missing_ok=True)
     tmp.rmdir()
 
 
@@ -263,6 +282,197 @@ def chaos_main(keep_store: bool) -> int:
     return 0
 
 
+#: Exit code the server uses for an injected ``coordinator.crash``
+#: (mirrors repro.faults.injector.COORDINATOR_CRASH_EXIT_CODE).
+COORDINATOR_CRASH_EXIT_CODE = 86
+
+#: Scrape one counter's value from a Prometheus exposition body.
+def metric_value(metrics_body: bytes, name: str) -> float:
+    match = re.search(
+        rf"^{name}(?:\{{[^}}]*\}})?\s+([0-9.eE+-]+)",
+        metrics_body.decode(),
+        re.MULTILINE,
+    )
+    return float(match.group(1)) if match else 0.0
+
+
+def free_port() -> int:
+    """Reserve an ephemeral port number.  The crash and recovery servers
+    must share a port so retrying clients need no rediscovery; the
+    server's own EADDRINUSE bind retry absorbs any reuse race."""
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def retrying_measure(port: int, body: dict, key: str, deadline_s: float = 120.0):
+    """POST /measure with an Idempotency-Key, retrying across the crash
+    window (connection refused/reset while the coordinator is down)
+    until an HTTP response arrives.  This is the client half of the
+    at-least-once-delivery / exactly-once-effects contract."""
+    deadline = time.monotonic() + deadline_s
+    while True:
+        request = urllib.request.Request(
+            f"http://127.0.0.1:{port}/measure",
+            data=json.dumps(body).encode(),
+            headers={"Idempotency-Key": key, "X-Client-Id": f"retry-{key}"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, dict(response.headers), response.read()
+        except urllib.error.HTTPError as error:
+            return error.code, dict(error.headers), error.read()
+        except (urllib.error.URLError, ConnectionError, HTTPException, OSError):
+            if time.monotonic() > deadline:
+                raise
+            time.sleep(0.2)
+
+
+def kill_coordinator_main(keep_store: bool) -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="repro-coord-"))
+    port = free_port()
+
+    print("== golden server: clean pass ==")
+    server = Server(tmp / "golden.sqlite", GOLDEN_SERVE_ARGS)
+    print(f"  {server.banner}")
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        golden = list(
+            pool.map(
+                lambda pair: server.measure(pair[1], client=f"g-{pair[0]}"),
+                enumerate(CHAOS_CELLS),
+            )
+        )
+    check(
+        all(s == 200 for s, _, _ in golden),
+        f"golden pass: {len(CHAOS_CELLS)}/{len(CHAOS_CELLS)} got 200",
+    )
+    code, _ = server.terminate()
+    check(code == 0, f"golden drain exits 0 (got {code})")
+
+    print("== doomed server: coordinator.crash armed at the batch phase ==")
+    plan_path = tmp / "coordinator-crash.json"
+    plan_path.write_text(
+        json.dumps(
+            {
+                "seed": "kill-coordinator",
+                "faults": [
+                    {
+                        "kind": "coordinator.crash",
+                        "probability": 1.0,
+                        "scope": "coordinator/batch/*",
+                    }
+                ],
+            }
+        )
+    )
+    store = tmp / "coordinator.sqlite"
+    doomed_args = [
+        "--quick", "serve", "--port", str(port), "--inject", str(plan_path),
+    ]
+    server = Server(store, doomed_args)
+    print(f"  {server.banner}")
+
+    # Retrying idempotent clients: fired while the server is doomed to
+    # die at its first batch dispatch; they ride out the crash window and
+    # are answered by the recovery server.
+    with ThreadPoolExecutor(max_workers=6) as pool:
+        futures = [
+            pool.submit(retrying_measure, port, cell, f"cell-{i}")
+            for i, cell in enumerate(CHAOS_CELLS)
+        ]
+        code = server.proc.wait(timeout=120)
+        check(
+            code == COORDINATOR_CRASH_EXIT_CODE,
+            f"coordinator.crash killed the server mid-load "
+            f"(exit {code}, want {COORDINATOR_CRASH_EXIT_CODE})",
+        )
+
+        print("== recovery server: same port, same store, --recover ==")
+        recovery_args = [
+            "--quick", "serve", "--port", str(port), "--recover",
+        ]
+        server = Server(store, recovery_args)
+        print(f"  {server.banner}")
+        check(
+            "recovering" in server.banner,
+            "recovery banner reports journal replay",
+        )
+        survivors = [future.result(timeout=150) for future in futures]
+
+    check(
+        all(s == 200 for s, _, _ in survivors),
+        f"every retrying client got 200 across the crash "
+        f"(got {[s for s, _, _ in survivors]})",
+    )
+    matches = sum(
+        1
+        for (_, _, golden_body), (_, _, body) in zip(golden, survivors)
+        if golden_body == body
+    )
+    check(
+        matches == len(CHAOS_CELLS),
+        f"coordinator death is invisible in the data: "
+        f"{matches}/{len(CHAOS_CELLS)} bodies byte-identical to goldens",
+    )
+
+    status, _, health_body = server.request("GET", "/healthz")
+    health = json.loads(health_body)
+    journal = health.get("journal", {})
+    recovery = health.get("recovery", {})
+    print(f"  journal: {journal}  recovery: {recovery}")
+    check(
+        status == 200 and journal.get("pending") == 0,
+        f"journal fully drained (pending={journal.get('pending')})",
+    )
+    check(
+        journal.get("done", 0) == len(CHAOS_CELLS),
+        f"exactly one done journal entry per idempotency key — no "
+        f"duplicates (done={journal.get('done')})",
+    )
+    check(
+        recovery.get("replayed", 0) >= 1,
+        f"recovery replayed at least one journalled request "
+        f"(replayed={recovery.get('replayed')})",
+    )
+    check(
+        recovery.get("failed", 0) == 0,
+        f"no journalled request failed to recover "
+        f"(failed={recovery.get('failed')})",
+    )
+    check(
+        health.get("store_records") == len(CHAOS_CELLS),
+        f"store holds exactly one record per cell "
+        f"(got {health.get('store_records')})",
+    )
+
+    status, _, metrics_body = server.request("GET", "/metrics")
+    replayed = metric_value(metrics_body, "repro_recovery_replayed_total")
+    completed = metric_value(metrics_body, "repro_recovery_completed_total")
+    check(
+        status == 200 and replayed >= 1.0 and completed >= 1.0,
+        f"/metrics records the recovery (replayed={replayed:g}, "
+        f"completed={completed:g})",
+    )
+
+    code, stderr = server.terminate()
+    check(
+        code == 0 and "drained:" in stderr,
+        f"recovery server drains cleanly (exit {code})",
+    )
+
+    if not keep_store:
+        cleanup_stores(tmp)
+
+    if FAILURES:
+        print(f"\nkill-coordinator smoke FAILED: {len(FAILURES)} assertion(s):")
+        for failure in FAILURES:
+            print(f"  - {failure}")
+        return 1
+    print("\nkill-coordinator smoke OK")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--keep-store", action="store_true")
@@ -272,9 +482,17 @@ def main() -> int:
         help="run the supervised worker-kill scenario instead of the "
         "mixed-load smoke",
     )
+    parser.add_argument(
+        "--kill-coordinator",
+        action="store_true",
+        help="run the coordinator-crash + journal-recovery scenario "
+        "instead of the mixed-load smoke",
+    )
     args = parser.parse_args()
     if args.chaos:
         return chaos_main(args.keep_store)
+    if args.kill_coordinator:
+        return kill_coordinator_main(args.keep_store)
 
     tmp = Path(tempfile.mkdtemp(prefix="repro-smoke-"))
     store = tmp / "campaign.sqlite"
