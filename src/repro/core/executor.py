@@ -79,6 +79,14 @@ class WorkerSetup:
     #: Arm the worker's tracer so each pair ships its span subtree home
     #: (defaulted so pickled setups from older callers keep working).
     trace_enabled: bool = False
+    #: Compiled sweep kernels to preload (an engine ``kernel_snapshot``),
+    #: a warm-start hint like ``calibration`` — workers compile missing
+    #: entries deterministically.  ``None`` ships nothing.
+    kernels: Optional[dict] = None
+    #: Route fault-free pairs through compiled kernels in the worker
+    #: study (result bytes are identical either way; this only pins
+    #: which code path produces them).
+    vectorize: bool = True
 
 
 @dataclass(frozen=True)
@@ -140,11 +148,14 @@ def _init_worker(setup: WorkerSetup) -> None:
     else:
         injector.uninstall()
     setup.references.engine.preload_calibration(setup.calibration)
+    if setup.kernels:
+        setup.references.engine.preload_kernels(setup.kernels)
     _WORKER_STUDY = Study(
         references=setup.references,
         invocation_scale=setup.invocation_scale,
         retry=setup.retry,
         instrument=setup.instrument,
+        vectorize=setup.vectorize,
     )
 
 
@@ -270,6 +281,10 @@ class SweepPool:
             and mine.metrics_enabled == setup.metrics_enabled
             and mine.fault_plan == setup.fault_plan
             and mine.trace_enabled == setup.trace_enabled
+            # Like calibration, ``kernels`` is only a warm-start hint and
+            # never gates reuse; the path flag does, so a sweep that pins
+            # scalar measurement is really measured on the scalar path.
+            and mine.vectorize == setup.vectorize
         )
 
     def close(self) -> None:

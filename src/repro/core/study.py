@@ -50,6 +50,7 @@ from repro.core.results import (
     RunResult,
 )
 from repro.core.statistics import confidence_interval, mad_outlier_indices
+from repro.execution import kernels as _kernels
 from repro.execution.engine import ExecutionEngine
 from repro.faults.errors import (
     InvocationTimeout,
@@ -195,6 +196,7 @@ class Study:
         supervised: bool = False,
         heartbeat_s: float = 0.25,
         liveness_misses: int = 4,
+        vectorize: Optional[bool] = None,
     ) -> None:
         if not math.isfinite(invocation_scale) or invocation_scale <= 0:
             raise ValueError(
@@ -224,6 +226,15 @@ class Study:
         self._heartbeat_s = heartbeat_s
         self._liveness_misses = liveness_misses
         self._fleet = None  # lazily created on the supervised path
+        # ``vectorize`` routes fault-free pairs through compiled sweep
+        # kernels (:mod:`repro.execution.kernels`) — byte-identical
+        # results, one numpy pass per pair.  ``None`` defers to the
+        # REPRO_SWEEP_KERNELS env switch (on unless explicitly "0"/"off"/
+        # "false"/"no"), so CI and the benchmark can pin either path.
+        if vectorize is None:
+            env = os.environ.get("REPRO_SWEEP_KERNELS", "").strip().lower()
+            vectorize = env not in ("0", "off", "false", "no")
+        self._vectorize = bool(vectorize)
         self._cache: dict[tuple[Benchmark, str], RunResult] = {}
         self._restored_keys: set[tuple[Benchmark, str]] = set()
         self._quarantine: dict[tuple[Benchmark, str], QuarantineEntry] = {}
@@ -252,6 +263,11 @@ class Study:
     @property
     def retry_policy(self) -> RetryPolicy:
         return self._retry
+
+    @property
+    def vectorize(self) -> bool:
+        """Whether fault-free pairs run through compiled sweep kernels."""
+        return self._vectorize
 
     @property
     def quarantined(self) -> tuple[QuarantineEntry, ...]:
@@ -535,13 +551,40 @@ class Study:
         invocations = self.scaled_invocations(benchmark)
         meter = self._meter(config.spec)
 
+        injector = _faults_active()
+        # A pair vectorises when kernels are enabled and no armed fault
+        # spec's scope reaches any of its sites — the scalar path is the
+        # only one that walks the per-invocation fault hooks.  The scope
+        # check draws no RNG, and an unarmed pair's hooks are no-ops that
+        # also draw none, so skipping them is behaviour-identical.
+        use_kernel = self._vectorize and (
+            injector is None
+            or not injector.may_fault_pair(
+                config.key, benchmark.name, invocations
+            )
+        )
+        if self._vectorize and not use_kernel:
+            _kernels.note_fallback("faults")
         with default_tracer().span(
             "engine.execute",
             benchmark=benchmark.name,
             config=config.key,
             invocations=invocations,
         ):
-            if _faults_active() is None:
+            kernel_result = None
+            if use_kernel:
+                # One compiled numpy pass over the whole invocation loop;
+                # ``None`` means the plan's shape isn't compilable and the
+                # pair follows the scalar route below.
+                kernel_result = _kernels.measure_pair(
+                    self._engine, meter, benchmark, config, protocol,
+                    invocations,
+                )
+            if kernel_result is not None:
+                times, powers = kernel_result
+                if self._progress is not None:
+                    self._progress.advance(invocations)
+            elif injector is None:
                 # Nothing can fail without an armed injector, so the retry
                 # loop degenerates: run all invocations through the engine,
                 # then push the whole batch through the logger/calibration
@@ -834,6 +877,8 @@ class Study:
             metrics_enabled=_metrics_enabled(),
             fault_plan=injector.plan if injector is not None else None,
             trace_enabled=default_tracer().is_enabled,
+            kernels=self._engine.kernel_snapshot() or None,
+            vectorize=self._vectorize,
         )
         indexed = tuple(
             (benchmark, config, index)

@@ -185,19 +185,28 @@ class ExecutionEngine:
         self._plan_cache: dict[
             tuple[Benchmark, Configuration, Optional[int]], ExecutionPlan
         ] = {}
+        # Compiled sweep kernels (:mod:`repro.execution.kernels`), keyed
+        # by (benchmark, config key, effective iteration, invocations).
+        # The engine stores them opaquely — the kernels module owns their
+        # shape — so the snapshot/preload plumbing mirrors calibration's.
+        self._kernel_cache: dict[tuple, object] = {}
 
     def __getstate__(self) -> dict:
         """Pickle support for shipping the engine to pool workers.
 
         The calibration table travels (it is a small dict of floats and
-        saves each worker four probe runs per benchmark); the plan cache
-        does not — it is bulky and cheap to rebuild per worker."""
+        saves each worker four probe runs per benchmark); the plan and
+        kernel caches do not — plans are bulky and cheap to rebuild, and
+        kernels ship separately via ``WorkerSetup.kernels`` so their
+        materialised noise draws never ride along."""
         state = self.__dict__.copy()
         state["_plan_cache"] = {}
+        state["_kernel_cache"] = {}
         return state
 
     def __setstate__(self, state: dict) -> None:
         self.__dict__.update(state)
+        self.__dict__.setdefault("_kernel_cache", {})
 
     # -- public API ----------------------------------------------------------
 
@@ -230,6 +239,21 @@ class ExecutionEngine:
         power_noise = self._noise(
             benchmark, config, invocation, channel="power", scale=1.6
         )
+        plan = self.execution_plan(benchmark, config, iteration)
+        return self._run_plan(plan, time_noise=noise, activity_noise=power_noise)
+
+    def execution_plan(
+        self,
+        benchmark: Benchmark,
+        config: Configuration,
+        iteration: Optional[int] = None,
+    ) -> ExecutionPlan:
+        """The cached deterministic skeleton of one measured run.
+
+        The plan-cache lookup (and its hit/miss accounting) lives here so
+        that :meth:`execute` and the sweep-kernel compiler
+        (:mod:`repro.execution.kernels`) share one cache and one ledger.
+        """
         # ``iteration or STEADY_STATE_ITERATION`` (the falsy-zero default
         # of the unplanned path) keys the cache for managed benchmarks;
         # native benchmarks have no warm-up, so their key collapses.
@@ -250,7 +274,7 @@ class ExecutionEngine:
             self._plan_cache[plan_key] = plan
         else:
             _PLAN_CACHE_HITS.inc()
-        return self._run_plan(plan, time_noise=noise, activity_noise=power_noise)
+        return plan
 
     def ideal(self, benchmark: Benchmark, config: Configuration) -> Execution:
         """A noise-free steady-state run (the model's platonic output)."""
@@ -292,6 +316,64 @@ class ExecutionEngine:
         for benchmark, instructions in snapshot.items():
             self._instruction_cache.setdefault(benchmark, instructions)
 
+    # -- compiled sweep kernels ----------------------------------------------
+
+    @property
+    def seed_root(self) -> str:
+        """The root under which every engine noise stream is keyed."""
+        return self._seed_root
+
+    def noise_sigma(
+        self, benchmark: Benchmark, channel: str = "time", scale: float = 1.0
+    ) -> float:
+        """The lognormal sigma :meth:`_noise` draws with for ``channel``
+        — exposed so the kernel compiler can precompute draw parameters
+        without duplicating the variability policy."""
+        variability = (
+            benchmark.jvm.variability if benchmark.managed else NATIVE_VARIABILITY
+        ) * scale
+        if channel == "power":
+            # Even deterministic native code draws measurably different
+            # power run to run (thermal state, DRAM refresh phase): the
+            # paper's Table 2 shows native power CIs well above its time
+            # CIs, so the power channel has a noise floor.
+            variability = max(variability, 0.012)
+        return variability
+
+    def cached_kernel(self, key: tuple) -> Optional[object]:
+        """A compiled sweep kernel, or ``None`` (opaque to the engine)."""
+        return self._kernel_cache.get(key)
+
+    def store_kernel(self, key: tuple, kernel: object) -> None:
+        self._kernel_cache[key] = kernel
+
+    def kernel_snapshot(self) -> dict[tuple, object]:
+        """The compiled-kernel table, for preloading pool workers the way
+        :meth:`calibration_snapshot` preloads instruction calibration.
+        Kernels serialise compactly: their materialised noise draws are
+        dropped on pickle and rematerialised lazily from stored seeds."""
+        return dict(self._kernel_cache)
+
+    def preload_kernels(self, snapshot: dict[tuple, object]) -> None:
+        """Adopt a :meth:`kernel_snapshot` (locally compiled entries win;
+        both derivations are deterministic)."""
+        for key, kernel in snapshot.items():
+            self._kernel_cache.setdefault(key, kernel)
+
+    def record_plan_replays(
+        self, invocations: int, serial_phases: int, parallel_phases: int
+    ) -> None:
+        """Bulk execution telemetry for a compiled-kernel replay.
+
+        A kernel evaluates a pair's whole invocation loop in one numpy
+        pass, so the per-execution counters tick once with the batch
+        totals — the same final values the scalar loop produces."""
+        _EXECUTIONS.inc(invocations)
+        if serial_phases:
+            _SERIAL_PHASES.inc(serial_phases)
+        if parallel_phases:
+            _PARALLEL_PHASES.inc(parallel_phases)
+
     # -- internals -----------------------------------------------------------
 
     def _noise(
@@ -307,15 +389,7 @@ class ExecutionEngine:
         Power varies between invocations too (GC timing shifts which
         phases coincide with sampling; §2.2's nondeterminism), with a
         somewhat smaller coefficient than time."""
-        variability = (
-            benchmark.jvm.variability if benchmark.managed else NATIVE_VARIABILITY
-        ) * scale
-        if channel == "power":
-            # Even deterministic native code draws measurably different
-            # power run to run (thermal state, DRAM refresh phase): the
-            # paper's Table 2 shows native power CIs well above its time
-            # CIs, so the power channel has a noise floor.
-            variability = max(variability, 0.012)
+        variability = self.noise_sigma(benchmark, channel=channel, scale=scale)
         if variability == 0.0:
             return 1.0
         rng = rng_for(

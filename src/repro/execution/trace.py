@@ -56,11 +56,7 @@ class PowerTrace:
         """
         if rate_hz <= 0:
             raise ValueError("sample rate must be positive")
-        count = max(int(self.duration.value * rate_hz), 1)
-        if max_samples is not None:
-            if max_samples < 1:
-                raise ValueError("max_samples must be >= 1")
-            count = min(count, max_samples)
+        count = sample_count(self.duration.value, rate_hz, max_samples)
         return (np.arange(count) + 0.5) * (self.duration.value / count)
 
     def powers_at(self, times: np.ndarray) -> np.ndarray:
@@ -80,6 +76,39 @@ class PowerTrace:
             total += level * (end - start)
             start = end
         return Watts(total / self.boundaries[-1])
+
+
+def sample_count(duration_s: float, rate_hz: float, max_samples: int | None) -> int:
+    """Samples a ``rate_hz`` logger records over ``duration_s``: the
+    truncated sample count, floored at one, capped at ``max_samples``.
+
+    One function so the scalar path and the compiled-kernel path
+    (:func:`repro.execution.kernels.sample_counts`, its vectorised twin)
+    cannot drift apart.
+    """
+    count = max(int(duration_s * rate_hz), 1)
+    if max_samples is not None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        count = min(count, max_samples)
+    return count
+
+
+def sample_counts(
+    durations_s: np.ndarray, rate_hz: float, max_samples: int | None
+) -> np.ndarray:
+    """Vectorised :func:`sample_count` over an array of run durations.
+
+    ``astype(int64)`` truncates toward zero exactly as ``int()`` does for
+    the non-negative products here, so every element equals the scalar
+    rule's answer bit for bit."""
+    counts = (durations_s * rate_hz).astype(np.int64)
+    np.maximum(counts, 1, out=counts)
+    if max_samples is not None:
+        if max_samples < 1:
+            raise ValueError("max_samples must be >= 1")
+        np.minimum(counts, max_samples, out=counts)
+    return counts
 
 
 def trace_of(execution: Execution) -> PowerTrace:

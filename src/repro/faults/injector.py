@@ -114,6 +114,41 @@ class FaultInjector:
             root=f"faultplan::{self._plan.seed}",
         )
 
+    def may_fault_pair(
+        self, config_key: str, benchmark_name: str, invocations: int
+    ) -> bool:
+        """Could any measurement-pipeline fault fire somewhere inside
+        this pair's invocation loop?
+
+        The compiled-kernel path (:mod:`repro.execution.kernels`) asks
+        this before vectorising a pair: a pair with any *armed* site must
+        take the scalar path, which walks the per-invocation hooks.  The
+        check is conservative by scope, not by dice — it never draws RNG
+        (so it cannot perturb fault decisions) and returns True whenever
+        a positive-probability invocation/sensor/logger/meter spec's
+        scope matches any of the pair's sites, whether or not the dice
+        would actually fire.  Worker/coordinator specs are process-level
+        and do not gate vectorisation.
+        """
+        specs = [
+            spec
+            for stage_specs in (
+                self._invocation_specs,
+                self._sensor_specs,
+                self._logger_specs,
+                self._meter_specs,
+            )
+            for spec in stage_specs
+            if spec.probability > 0.0
+        ]
+        if not specs:
+            return False
+        return any(
+            spec.applies_to(f"{config_key}/{benchmark_name}/{invocation}")
+            for invocation in range(invocations)
+            for spec in specs
+        )
+
     # -- stage hooks ---------------------------------------------------------
 
     def check_invocation(self, site: str) -> None:

@@ -100,8 +100,22 @@ class PowerMeter:
         return self._sensor
 
     @property
+    def supply(self) -> ProcessorSupply:
+        return self._supply
+
+    @property
+    def logger(self) -> DataLogger:
+        return self._logger
+
+    @property
     def calibration(self) -> SensorCalibration:
         return self._calibration
+
+    @property
+    def sat_scan_watts(self) -> float:
+        """True package power above which a sample can sit on a rail —
+        the guard the clamp-telemetry scan is gated on."""
+        return self._sat_scan_watts
 
     def clamped_sample_count(self, codes: np.ndarray) -> int:
         """Samples sitting on (or within the guard band of) either rail —
@@ -197,16 +211,68 @@ class PowerMeter:
             )
         return out
 
+    def measure_kernel(
+        self,
+        true_watts: np.ndarray,
+        counts: np.ndarray,
+        offsets: np.ndarray,
+        peaks: np.ndarray,
+        wander: np.ndarray,
+        sensor_noise: np.ndarray,
+    ) -> list[float]:
+        """Meter a compiled pair kernel: every invocation's samples in
+        one array pass.
+
+        ``true_watts`` concatenates the pair's per-sample ground-truth
+        power (segment ``i`` spans ``offsets[i]:offsets[i]+counts[i]``);
+        ``wander``/``sensor_noise`` are the pre-drawn per-salt noise
+        streams (:mod:`repro.execution.kernels` draws them from the same
+        seeds the per-run path derives).  The pipeline reuses the exact
+        shared transfers — :meth:`ProcessorSupply.volts_from_wander` and
+        :meth:`HallEffectSensor.transfer_codes` — and the per-segment
+        reduction is an exact integer sum (``np.add.reduceat`` over
+        int64 codes), so each returned average is bit-identical to
+        :meth:`measure` on that invocation alone.  Saturation telemetry
+        follows :meth:`measure_batch`'s gate: segments whose true peak
+        (``peaks``) clears the scan threshold contribute their clamped
+        samples to the clamp counter.
+        """
+        voltages = self._supply.volts_from_wander(wander)
+        currents = true_watts / voltages
+        codes = self._sensor.transfer_codes(currents, sensor_noise)
+        sums = np.add.reduceat(codes, offsets)
+        mean_codes = sums / counts
+        fit = self._calibration.fit
+        watts = (mean_codes - fit.intercept) / fit.slope * self._supply.nominal.value
+        if _metrics_enabled():
+            self._samples_metric.inc(int(counts.sum()))
+            hot = peaks >= self._sat_scan_watts
+            if hot.any():
+                railed = (codes <= self._sat_code_low) | (codes >= self._sat_code_high)
+                per_run = np.add.reduceat(railed.astype(np.int64), offsets)
+                clamped = int(per_run[hot].sum())
+                if clamped:
+                    self._clamp_metric.inc(clamped)
+        return watts.tolist()
+
     def _average_watts(self, codes: np.ndarray) -> float:
         """Calibrated average power of one run's codes, in a single fused
-        pass: the mean over integer codes is an exact integer sum (codes
-        are < 2**10 and runs < 2**11 samples, far inside float64's 2**53
-        exact range), so averaging the codes first and applying the
-        affine calibration once is bit-for-bit independent of whether the
-        codes arrived standalone or as a slice of a batch — and skips the
+        pass.
+
+        The sum is taken over the codes as exact integers
+        (``np.add.reduce`` with an int64 accumulator) rather than by
+        float accumulation: ADC codes are < 2**10 and runs < 2**11
+        samples, so the integer sum — hence the mean and everything
+        downstream — is *provably* exact at any magnitude, and in
+        particular equal to the compiled-kernel path's per-segment
+        ``np.add.reduceat`` regardless of summation order.  Averaging
+        the codes first and applying the affine calibration once is then
+        bit-for-bit independent of whether the codes arrived standalone,
+        as a slice of a batch, or as a kernel segment — and skips the
         ``astype(float)`` copy and per-sample affine of the naive path."""
         fit = self._calibration.fit
-        mean_code = float(np.mean(codes))
+        total = int(np.add.reduce(codes, dtype=np.int64))
+        mean_code = total / codes.size
         return (mean_code - fit.intercept) / fit.slope * self._supply.nominal.value
 
 

@@ -77,24 +77,39 @@ class HallEffectSensor:
         code = round(volts.value / ADC_FULL_SCALE_VOLTS * ADC_COUNTS)
         return int(np.clip(code, 0, ADC_COUNTS - 1))
 
-    def read_codes(self, currents: np.ndarray, seed_salt: str) -> np.ndarray:
-        """Digitised codes for an array of instantaneous currents.
-
-        Noise is proportional to full scale (Hall sensors are dominated by
-        a fixed noise floor, not signal-proportional noise).  Vectorised
-        equivalent of :meth:`output_volts` + :meth:`digitise` per sample.
-        """
-        currents = np.asarray(currents, dtype=float)
-        rng = rng_for(run_key("sensor-read", self.sensor_key, seed_salt))
+    @property
+    def noise_sigma_volts(self) -> float:
+        """Per-sample noise sigma in volts — the draw parameter every
+        read path (scalar, batched, compiled kernel) shares.  Noise is
+        proportional to full scale (Hall sensors are dominated by a fixed
+        noise floor, not signal-proportional noise)."""
         full_scale_volts = self.mv_per_amp / 1000.0 * self.range_amps
-        noise = rng.normal(0.0, self.noise_fraction * full_scale_volts,
-                           size=len(currents))
+        return self.noise_fraction * full_scale_volts
+
+    def transfer_codes(self, currents: np.ndarray, noise: np.ndarray) -> np.ndarray:
+        """The sensor transfer for pre-drawn noise: clip to range, apply
+        the device's affine response, clip to the ADC input, quantise.
+
+        Every read path funnels through this one function, so the
+        per-run, batched, and compiled-kernel pipelines are bit-identical
+        by construction: same ufuncs, same operand order, only the noise
+        array's provenance differs (and that is keyed per run salt)."""
         clipped = np.clip(currents, -self.range_amps, self.range_amps)
         slope = self.mv_per_amp / 1000.0 * (1.0 + self._gain_error)
         volts = ZERO_CURRENT_VOLTS + self._offset_volts + slope * clipped + noise
         volts = np.clip(volts, 0.0, ADC_FULL_SCALE_VOLTS)
         codes = np.rint(volts / ADC_FULL_SCALE_VOLTS * ADC_COUNTS).astype(int)
         return np.clip(codes, 0, ADC_COUNTS - 1)
+
+    def read_codes(self, currents: np.ndarray, seed_salt: str) -> np.ndarray:
+        """Digitised codes for an array of instantaneous currents.
+        Vectorised equivalent of :meth:`output_volts` + :meth:`digitise`
+        per sample, with the run's noise stream keyed by ``seed_salt``.
+        """
+        currents = np.asarray(currents, dtype=float)
+        rng = rng_for(run_key("sensor-read", self.sensor_key, seed_salt))
+        noise = rng.normal(0.0, self.noise_sigma_volts, size=len(currents))
+        return self.transfer_codes(currents, noise)
 
     def read_codes_batch(
         self, segments: "Sequence[np.ndarray]", seed_salts: "Sequence[str]"
@@ -104,15 +119,13 @@ class HallEffectSensor:
 
         The noise stream is still drawn *per salt* — each segment's draws
         are exactly what :meth:`read_codes` would have drawn for it — and
-        every transfer step (clip, affine transfer, clip, round, clip) is
-        an elementwise ufunc, so each output element is bit-identical to
-        the per-run path; only the Python/numpy dispatch overhead is
-        amortised across the batch.
+        the transfer is the shared elementwise :meth:`transfer_codes`, so
+        each output element is bit-identical to the per-run path; only
+        the Python/numpy dispatch overhead is amortised across the batch.
         """
         if len(segments) != len(seed_salts):
             raise ValueError("segments and seed salts must align")
-        full_scale_volts = self.mv_per_amp / 1000.0 * self.range_amps
-        sigma = self.noise_fraction * full_scale_volts
+        sigma = self.noise_sigma_volts
         noise = np.concatenate(
             [
                 rng_for(run_key("sensor-read", self.sensor_key, salt)).normal(
@@ -124,12 +137,7 @@ class HallEffectSensor:
         currents = np.concatenate(
             [np.asarray(segment, dtype=float) for segment in segments]
         )
-        clipped = np.clip(currents, -self.range_amps, self.range_amps)
-        slope = self.mv_per_amp / 1000.0 * (1.0 + self._gain_error)
-        volts = ZERO_CURRENT_VOLTS + self._offset_volts + slope * clipped + noise
-        volts = np.clip(volts, 0.0, ADC_FULL_SCALE_VOLTS)
-        codes = np.rint(volts / ADC_FULL_SCALE_VOLTS * ADC_COUNTS).astype(int)
-        return np.clip(codes, 0, ADC_COUNTS - 1)
+        return self.transfer_codes(currents, noise)
 
 
 def sensor_for_processor(processor_key: str, max_power_watts: float) -> HallEffectSensor:

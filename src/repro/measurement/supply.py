@@ -41,11 +41,24 @@ class ProcessorSupply:
             raise ValueError("power cannot be negative")
         return Amperes(power.value / self.nominal.value)
 
+    @property
+    def wander_sigma(self) -> float:
+        """Sigma of the per-sample wander draw (the +/-stability band is
+        three sigmas out, so clipping is rare) — shared by the per-run
+        sampler and the compiled-kernel path."""
+        return self.stability / 3.0
+
+    def volts_from_wander(self, wander: np.ndarray) -> np.ndarray:
+        """Rail voltage for pre-drawn wander samples.  The one transfer
+        every path shares, so per-run and compiled-kernel sampling are
+        bit-identical by construction."""
+        return self.nominal.value * (1.0 + np.clip(wander, -self.stability, self.stability))
+
     def voltage_samples(self, count: int, seed_salt: str = "") -> np.ndarray:
         """Rail voltage at ``count`` sampling instants (slow wander within
         the measured +/-1 % band)."""
         if count < 1:
             raise ValueError("need at least one sample")
         rng = rng_for(run_key("supply", self.machine_key, seed_salt))
-        wander = rng.normal(0.0, self.stability / 3.0, size=count)
-        return self.nominal.value * (1.0 + np.clip(wander, -self.stability, self.stability))
+        wander = rng.normal(0.0, self.wander_sigma, size=count)
+        return self.volts_from_wander(wander)

@@ -101,6 +101,23 @@ def render_top(
         f"quarantined {health.get('quarantined', 0)}"
     )
 
+    # Compiled sweep kernels — absent on pre-kernel servers, so degrade
+    # to nothing rather than crash.
+    kernels = health.get("kernels")
+    if isinstance(kernels, Mapping):
+        fallbacks = kernels.get("fallbacks")
+        fallback_total = (
+            sum(int(v) for v in fallbacks.values())
+            if isinstance(fallbacks, Mapping)
+            else 0
+        )
+        lines.append(
+            f"kernels: {kernels.get('compiles', 0)} compiled  "
+            f"{kernels.get('cache_hits', 0)} hits  "
+            f"{fallback_total} scalar fallbacks  "
+            f"{float(kernels.get('cache_bytes') or 0) / 1024.0:.1f} KiB cached"
+        )
+
     availability = slo.get("availability") or {}
     budget = availability.get("error_budget") if isinstance(availability, Mapping) else None
     if isinstance(budget, Mapping):

@@ -334,6 +334,9 @@ class FleetSupervisor:
             and mine.metrics_enabled == setup.metrics_enabled
             and mine.fault_plan == setup.fault_plan
             and mine.trace_enabled == setup.trace_enabled
+            # ``kernels`` is a warm-start hint (as in SweepPool); the
+            # path flag pins which code path measures, so it gates.
+            and mine.vectorize == setup.vectorize
         )
 
     # -- the sweep -----------------------------------------------------------

@@ -65,6 +65,7 @@ from urllib.parse import parse_qsl, urlsplit
 from repro.core.aggregation import group_means, weighted_average
 from repro.core.pareto import TradeoffPoint, pareto_efficient
 from repro.core.study import Study
+from repro.execution.kernels import kernel_stats
 from repro.faults.injector import coordinator_fault_point
 from repro.faults.plan import (
     FaultPlan,
@@ -951,6 +952,7 @@ class CampaignServer:
             "fleet": self._study.fleet_snapshot(),
             "journal": self._store.journal_counts(),
             "recovery": dict(self.recovery),
+            "kernels": kernel_stats(),
         }
 
     async def _metrics(self, request: Request) -> Response:

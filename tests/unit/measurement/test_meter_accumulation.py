@@ -1,0 +1,90 @@
+"""Exactness of the meter's code accumulation (satellite of the
+vectorized-kernel PR).
+
+``PowerMeter._average_watts`` reduces a run's integer ADC codes with an
+int64 accumulator (``np.add.reduce``), so the sum — hence the mean and
+the calibrated watts — is *provably exact*: equal to ``math.fsum`` (and
+to exact rational arithmetic) at any magnitude the pipeline can produce,
+and independent of sample order or segmentation.  These tests drive the
+reduction with adversarial magnitudes far past the real logger's runs to
+pin the exactness claim itself, not just the operating envelope.
+"""
+
+import math
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import ATOM_45, CORE_I7_45
+from repro.measurement.meter import PowerMeter
+from repro.measurement.sensor import ADC_COUNTS
+
+
+def _exact_watts(meter: PowerMeter, codes: np.ndarray) -> float:
+    """The reference answer via exact integer arithmetic: a Fraction mean
+    correctly rounded to float64, then the affine calibration."""
+    total = sum(int(code) for code in codes)
+    mean_code = float(Fraction(total, len(codes)))
+    fit = meter.calibration.fit
+    return (mean_code - fit.intercept) / fit.slope * meter.supply.nominal.value
+
+
+ADVERSARIAL = [
+    # Alternating rails: the classic cancellation-adjacent pattern.
+    np.tile(np.array([0, ADC_COUNTS - 1]), 500_000),
+    # A million near-full-scale codes: magnitude stress for a naive
+    # float32-style accumulator (int64 doesn't blink).
+    np.full(1_000_001, ADC_COUNTS - 1),
+    # One tiny code drowned in huge ones — the absorption case where
+    # naive left-to-right float accumulation loses low-order bits first.
+    np.concatenate([np.full(999_999, ADC_COUNTS - 1), np.array([1, 0])]),
+    # Odd length + mixed codes: exercises the correctly-rounded division.
+    np.arange(0, ADC_COUNTS).repeat(977)[:-3],
+]
+
+
+class TestExactAccumulation:
+    @pytest.mark.parametrize("codes", ADVERSARIAL, ids=lambda a: f"n={len(a)}")
+    def test_average_matches_exact_rational_mean(self, codes):
+        meter = PowerMeter(CORE_I7_45)
+        assert meter._average_watts(codes) == _exact_watts(meter, codes)
+
+    @pytest.mark.parametrize("codes", ADVERSARIAL, ids=lambda a: f"n={len(a)}")
+    def test_average_matches_fsum(self, codes):
+        """fsum is the gold-standard float accumulator; the exact integer
+        sum must agree with it bit for bit."""
+        meter = PowerMeter(ATOM_45)
+        fit = meter.calibration.fit
+        mean_code = math.fsum(codes.tolist()) / len(codes)
+        expected = (
+            (mean_code - fit.intercept) / fit.slope * meter.supply.nominal.value
+        )
+        assert meter._average_watts(codes) == expected
+
+    def test_order_and_segmentation_invariance(self):
+        """An exact sum cannot depend on sample order — shuffle and
+        segment-concatenate must agree to the last bit."""
+        rng = np.random.default_rng(11)
+        codes = rng.integers(0, ADC_COUNTS, size=100_003)
+        shuffled = codes.copy()
+        rng.shuffle(shuffled)
+        meter = PowerMeter(CORE_I7_45)
+        assert meter._average_watts(codes) == meter._average_watts(shuffled)
+
+    def test_kernel_reduceat_agrees_with_scalar_reduce(self):
+        """The compiled-kernel path's per-segment ``np.add.reduceat``
+        must equal per-segment ``_average_watts`` on the same slices."""
+        rng = np.random.default_rng(13)
+        counts = rng.integers(1, 2001, size=40)
+        codes = rng.integers(0, ADC_COUNTS, size=int(counts.sum()))
+        offsets = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        meter = PowerMeter(CORE_I7_45)
+        fit = meter.calibration.fit
+        sums = np.add.reduceat(codes, offsets)
+        means = sums / counts
+        watts = (means - fit.intercept) / fit.slope * meter.supply.nominal.value
+        for i, (offset, count) in enumerate(zip(offsets, counts)):
+            segment = codes[offset:offset + count]
+            assert watts[i] == meter._average_watts(segment)
