@@ -1,0 +1,90 @@
+"""Throughput benchmark for the projection frontier search (ISSUE 10).
+
+Runs the same seeded frontier search twice on fresh studies — once with
+the scalar invocation loop forced, once on the compiled-kernel path — and
+always verifies the two frontier datasets are byte-identical (the
+subsystem's core guarantee) before comparing wall-clock.
+
+The search is exactly the workload the vectorized kernels were built for:
+hundreds of distinct synthesized cluster configurations, eight benchmarks
+each, no cache hits on a cold study.  The kernel path's advantage is
+therefore the *cold-sweep* ratio, which is smaller than the warm-sweep
+ratio ``bench_campaign_sweep`` pins (compilation happens inside the timed
+region here) but still must clearly beat scalar.
+
+Environment:
+
+* ``REPRO_BENCH_MIN_PROJECTION_SPEEDUP`` — when set, assert at least this
+  vectorized-over-scalar speedup (CI pins ``1.5``).  Unset, report only.
+
+Run directly:
+``PYTHONPATH=src python -m pytest -q -s benchmarks/bench_projection_search.py``
+(kept out of the tier-1 ``testpaths`` so machine-dependent timing never
+blocks unrelated changes).
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.normalization import References  # noqa: E402
+from repro.core.study import Study  # noqa: E402
+from repro.execution.engine import default_engine  # noqa: E402
+from repro.projection import search  # noqa: E402
+
+_REPS = 3
+_SAMPLES = 48
+_NODES = (22, 14, 10, 7)
+
+
+def _timed_search(references: References, vectorize: bool) -> tuple[float, bytes]:
+    study = Study(references=references, vectorize=vectorize)
+    start = time.perf_counter()
+    dataset = search(study=study, nodes=_NODES, samples=_SAMPLES, seed=0)
+    elapsed = time.perf_counter() - start
+    return elapsed, dataset.to_json_bytes()
+
+
+def test_vectorized_vs_scalar_search():
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_PROJECTION_SPEEDUP", "0"))
+
+    references = References(default_engine())
+    # Warm shared process-wide state (instruction calibration, protocol
+    # lookups, candidate synthesis caches); each timed side still pays
+    # its own study, meter, and kernel-compilation costs — the cold-sweep
+    # shape a fresh `repro project` run has.
+    _timed_search(references, vectorize=True)
+
+    scalar_times: list[float] = []
+    vector_times: list[float] = []
+    scalar_bytes = vector_bytes = None
+    for _ in range(_REPS):
+        elapsed, scalar_bytes = _timed_search(references, vectorize=False)
+        scalar_times.append(elapsed)
+        elapsed, vector_bytes = _timed_search(references, vectorize=True)
+        vector_times.append(elapsed)
+
+    assert scalar_bytes == vector_bytes, (
+        "vectorized frontier search diverged from the scalar dataset"
+    )
+
+    best_scalar = min(scalar_times)
+    best_vector = min(vector_times)
+    speedup = best_scalar / best_vector
+    print(
+        f"\nprojection search ({len(_NODES)} nodes x {_SAMPLES} samples): "
+        f"scalar {best_scalar:.2f}s, vectorized {best_vector:.2f}s -> "
+        f"{speedup:.2f}x (datasets byte-identical)"
+    )
+    if min_speedup > 0:
+        assert speedup >= min_speedup, (
+            f"speedup {speedup:.2f}x below the "
+            f"REPRO_BENCH_MIN_PROJECTION_SPEEDUP={min_speedup:g}x floor"
+        )

@@ -2,13 +2,20 @@
 
 Commands:
 
-* ``list processors|benchmarks|configurations|experiments`` — catalog views;
+* ``list processors|benchmarks|configurations|experiments|nodes`` —
+  catalog views (``nodes`` includes the projected 22-7 nm operating
+  points, flagged as synthetic);
 * ``measure <benchmark> <processor> [--cores N --threads N --clock GHZ
   --no-turbo --quick]`` — one measurement through the full pipeline;
 * ``experiment <id>`` — regenerate one paper artifact (``table1``..``fig12``);
 * ``findings`` — evaluate the thirteen findings;
 * ``dataset <out.csv> [--configs stock|45nm|all]`` — export the run dataset;
 * ``figure <fig2|fig3|fig7c|fig11|fig12>`` — draw a character figure;
+* ``project [--nodes 22,14,10,7 --samples N --area MM2 --tdp W --seed S
+  --out DIR]`` — synthesize post-2011 candidate machines and search the
+  per-node Pareto frontiers (docs/projection.md); ``--out`` writes the
+  canonical ``frontier.json`` dataset and the extended fig12-style
+  ``figure.txt``, byte-identical at any ``--jobs``/kernel setting;
 * ``stats`` — run a small sweep and print the telemetry summary table;
 * ``serve [--host H --port P --store DB --slo SPEC --event-log PATH
   ...]`` — run the measurement campaign as an HTTP service (see
@@ -178,7 +185,13 @@ def _build_parser() -> argparse.ArgumentParser:
     list_cmd = commands.add_parser("list", help="catalog views")
     list_cmd.add_argument(
         "what",
-        choices=("processors", "benchmarks", "configurations", "experiments"),
+        choices=(
+            "processors",
+            "benchmarks",
+            "configurations",
+            "experiments",
+            "nodes",
+        ),
     )
 
     measure = commands.add_parser("measure", help="measure one benchmark")
@@ -208,6 +221,54 @@ def _build_parser() -> argparse.ArgumentParser:
     figure.add_argument(
         "figure_id", choices=("fig2", "fig3", "fig7c", "fig11", "fig12")
     )
+
+    project = commands.add_parser(
+        "project",
+        help="search Pareto frontiers over synthesized post-2011 machines",
+    )
+    project.add_argument(
+        "--nodes",
+        default="22,14,10,7",
+        metavar="NM[,NM...]",
+        help="comma-separated projected nodes to search (default all four)",
+    )
+    project.add_argument(
+        "--samples",
+        type=int,
+        default=512,
+        metavar="N",
+        help="candidate machines per node (default 512; the four-node "
+        "default searches 2048 configurations)",
+    )
+    project.add_argument(
+        "--area",
+        type=float,
+        default=260.0,
+        metavar="MM2",
+        help="die area budget per candidate in mm^2 (default 260)",
+    )
+    project.add_argument(
+        "--tdp",
+        type=float,
+        default=130.0,
+        metavar="W",
+        help="package power budget per candidate in watts (default 130)",
+    )
+    project.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="candidate-generator seed (default 0)",
+    )
+    project.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write frontier.json (canonical dataset bytes) and "
+        "figure.txt (extended fig12) into DIR",
+    )
+    add_robustness_flags(project)
 
     commands.add_parser(
         "stats",
@@ -359,6 +420,27 @@ def _list(what: str) -> str:
         ]
     elif what == "configurations":
         rows = [{"key": c.key, "label": c.label} for c in all_configurations()]
+    elif what == "nodes":
+        from repro.hardware.technology import ALL_NODES
+
+        rows = [
+            {
+                "node_nm": node.nanometers,
+                "kind": "projected/synthetic" if node.synthetic else "measured",
+                "nominal_v": node.nominal_voltage.value,
+                "v_floor": (
+                    node.voltage_floor.value
+                    if node.voltage_floor is not None
+                    else "-"
+                ),
+                "cap_scale": node.capacitance_scale,
+                "leak_scale": node.leakage_scale,
+                "dark_frac": node.dark_silicon_fraction,
+            }
+            for node in sorted(
+                ALL_NODES.values(), key=lambda n: -n.nanometers
+            )
+        ]
     else:
         rows = [{"id": eid, "kind": "paper artifact"} for eid in EXPERIMENTS]
         rows += [{"id": eid, "kind": "extension"} for eid in EXTENSIONS]
@@ -427,6 +509,79 @@ def _dataset(args: argparse.Namespace, study: Study) -> str:
         or health.remeasured_outliers
     ):
         lines.append(health.summary())
+    return "\n".join(lines)
+
+
+def _project(args: argparse.Namespace, study: Study) -> str:
+    """Run the frontier search and render/persist its artifacts."""
+    from repro.hardware.technology import PROJECTED_NODES
+    from repro.projection import Budget, evaluate_projection_finding, search
+    from repro.reporting.figures import projection_figure
+
+    try:
+        nodes = tuple(int(part) for part in args.nodes.split(",") if part)
+    except ValueError:
+        print(
+            f"error: --nodes must be comma-separated integers, got "
+            f"{args.nodes!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    unknown = [nm for nm in nodes if nm not in PROJECTED_NODES]
+    if unknown or not nodes:
+        print(
+            f"error: --nodes must name projected nodes "
+            f"{sorted(PROJECTED_NODES, reverse=True)}, got {args.nodes!r}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+    budget = Budget(area_mm2=args.area, tdp_w=args.tdp)
+    # jobs=None inherits the worker count the study was built with, so
+    # the global --jobs/--supervised flags govern the sweep.
+    dataset = search(
+        study=study,
+        nodes=nodes,
+        samples=args.samples,
+        budget=budget,
+        seed=args.seed,
+    )
+    report = evaluate_projection_finding(dataset)
+    rows = []
+    for frontier in dataset.frontiers:
+        outcomes = frontier.outcomes
+        rows.append(
+            {
+                "node_nm": frontier.node_nm,
+                "candidates": len(outcomes),
+                "efficient": len(frontier.efficient_keys),
+                "best_perf": round(frontier.best_performance(), 2),
+                "best_perf_per_energy": round(frontier.best_efficiency(), 1),
+                "median_dark": round(
+                    sorted(o.candidate.dark_fraction for o in outcomes)[
+                        len(outcomes) // 2
+                    ],
+                    3,
+                ),
+            }
+        )
+    lines = [
+        f"searched {dataset.candidate_count()} candidate machines over "
+        f"{len(nodes)} projected node(s) "
+        f"(budget {budget.area_mm2:g} mm^2 / {budget.tdp_w:g} W, "
+        f"seed {dataset.seed})",
+        render_rows(rows),
+        f"finding {report.finding_id} "
+        f"({'holds' if report.holds else 'DOES NOT HOLD'}): "
+        f"{report.statement}",
+    ]
+    if args.out is not None:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        dataset_path = out_dir / "frontier.json"
+        dataset_path.write_bytes(dataset.to_json_bytes())
+        figure_path = out_dir / "figure.txt"
+        figure_path.write_bytes((projection_figure(dataset) + "\n").encode("ascii"))
+        lines.append(f"wrote {dataset_path} and {figure_path}")
     return "\n".join(lines)
 
 
@@ -619,6 +774,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "fig12": figures.figure12,
             }[args.figure_id]
             print(renderer(study))
+        elif args.command == "project":
+            print(_project(args, study))
         elif args.command == "stats":
             print(_stats(study))
         elif args.command == "serve":

@@ -46,14 +46,21 @@ def pareto_efficient(points: Sequence[TradeoffPoint]) -> tuple[TradeoffPoint, ..
     """The non-dominated subset, ordered by increasing performance.
 
     O(n^2) dominance scan — the study's configuration space is tens of
-    points, so clarity beats cleverness.
+    points, so clarity beats cleverness.  Edge cases are pinned down so the
+    result is a pure function of the point *set*:
+
+    * a single point is trivially efficient;
+    * exact duplicates neither dominate each other (dominance is strict on
+      one axis) so all copies survive;
+    * exact ties on one axis break by the other axis and then by key, so
+      the returned order is identical under any permutation of the input.
     """
     efficient = [
         p
         for p in points
         if not any(q.dominates(p) for q in points if q is not p)
     ]
-    return tuple(sorted(efficient, key=lambda p: p.performance))
+    return tuple(sorted(efficient, key=lambda p: (p.performance, p.energy, p.key)))
 
 
 @dataclass(frozen=True, slots=True)

@@ -19,6 +19,7 @@ from repro.experiments import (
 )
 from repro.experiments.base import resolve_study
 from repro.experiments.registry import run_experiment
+from repro.projection.frontier import ProjectionDataset
 from repro.reporting.ascii_plot import Series, scatter
 from repro.workloads.benchmark import Group
 from repro.workloads.catalog import BENCHMARKS_BY_NAME
@@ -107,6 +108,41 @@ def figure11(study: Optional[Study] = None) -> str:
         y_label="power (W)",
         log_x=True,
         log_y=True,
+    )
+
+
+def projection_figure(dataset: "ProjectionDataset") -> str:
+    """Extended Fig. 12: projected per-node frontiers over measured points.
+
+    A pure function of the frontier dataset — no study access, no clock —
+    so equal datasets render byte-identical figures (the property the
+    projection CI job asserts alongside the dataset bytes).
+    """
+    node_markers = {22: "2", 14: "4", 10: "0", 7: "7"}
+    series = [
+        Series(
+            "measured stock (130-32 nm)",
+            [(p.performance, p.energy) for p in dataset.measured],
+            "M",
+        )
+    ]
+    for frontier in dataset.frontiers:
+        marker = node_markers.get(frontier.node_nm, "*")
+        curve = [(float(x), float(y)) for x, y in frontier.frontier_series()]
+        if curve:
+            series.append(Series(f"{frontier.node_nm} nm frontier", curve, marker))
+        efficient = [
+            (o.performance, o.energy) for o in frontier.efficient_outcomes
+        ]
+        if efficient:
+            series.append(Series(f"{frontier.node_nm} nm efficient", efficient, "+"))
+    return scatter(
+        series,
+        x_label="average performance / reference",
+        y_label="normalised average energy",
+        log_x=True,
+        log_y=True,
+        height=20,
     )
 
 

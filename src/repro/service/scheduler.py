@@ -225,6 +225,31 @@ class CampaignScheduler:
     def study(self) -> Study:
         return self._study
 
+    async def offload(self, fn, *args):
+        """Run ``fn(*args)`` on the single measurement thread and await it.
+
+        Every study access in the service funnels through this one-thread
+        executor, so ad-hoc work (the ``/project`` frontier search)
+        serializes with ``/measure`` batch dispatches instead of racing
+        them on the shared study.
+        """
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._worker, fn, *args)
+
+    def run_projection(self, nodes, samples, budget, seed):
+        """Synchronous frontier search with the scheduler's study and
+        worker setting; call via :meth:`offload`."""
+        from repro.projection import search
+
+        return search(
+            study=self._study,
+            nodes=nodes,
+            samples=samples,
+            budget=budget,
+            seed=seed,
+            jobs=self._jobs,
+        )
+
     def now(self) -> float:
         """The scheduler's clock — the timebase request deadlines live on
         (injectable, so tests can expire deadlines without sleeping)."""

@@ -280,6 +280,10 @@ class CampaignServer:
         )
         self._limiter = ClientRateLimiter(rate, burst=burst)
         self._configs_by_key = {c.key: c for c in all_configurations()}
+        # GET /project responses keyed by canonical parameters: the search
+        # is deterministic, so a repeat with equal params can serve the
+        # cached payload without touching the measurement thread.
+        self._projection_cache: dict[tuple, dict] = {}
         self._server: Optional[asyncio.base_events.Server] = None
         self._started_monotonic = 0.0
         self.restored = 0  # records warm-started from the store
@@ -527,6 +531,7 @@ class CampaignServer:
             "/measure": ("POST", self._measure_route),
             "/results": ("GET", self._results),
             "/pareto": ("GET", self._pareto),
+            "/project": ("GET", self._project),
             "/healthz": ("GET", self._healthz),
             "/metrics": ("GET", self._metrics),
             "/slo": ("GET", self._slo_route),
@@ -927,6 +932,80 @@ class CampaignServer:
                 ],
             },
         )
+
+    #: Per-request ceiling on /project candidates per node: a GET should
+    #: stay an interactive sweep; bigger searches belong on the CLI.
+    PROJECT_MAX_SAMPLES = 512
+
+    async def _project(self, request: Request) -> Response:
+        """``GET /project``: frontier search over synthesized machines.
+
+        Query parameters mirror the ``repro project`` CLI: ``nodes``
+        (comma-separated projected nanometers), ``samples`` (per node),
+        ``seed``, ``area`` (mm^2), ``tdp`` (W).  The search runs on the
+        scheduler's measurement thread, serialized with /measure batches,
+        and its deterministic payload is cached by canonical parameters.
+        """
+        from repro.hardware.technology import PROJECTED_NODES
+        from repro.projection import Budget, evaluate_projection_finding
+
+        query = request.query
+        try:
+            nodes = tuple(
+                int(part)
+                for part in query.get("nodes", "22,14,10,7").split(",")
+                if part
+            )
+            samples = int(query.get("samples", "64"))
+            seed = int(query.get("seed", "0"))
+            area = float(query.get("area", "260"))
+            tdp = float(query.get("tdp", "130"))
+        except ValueError as exc:
+            return _error(400, f"bad projection parameter: {exc}")
+        unknown = [nm for nm in nodes if nm not in PROJECTED_NODES]
+        if unknown or not nodes:
+            return _error(
+                400,
+                f"nodes must name projected nodes "
+                f"{sorted(PROJECTED_NODES, reverse=True)}, got {query.get('nodes')!r}",
+            )
+        if not 1 <= samples <= self.PROJECT_MAX_SAMPLES:
+            return _error(
+                400,
+                f"samples must be in [1, {self.PROJECT_MAX_SAMPLES}], got {samples}",
+            )
+        try:
+            budget = Budget(area_mm2=area, tdp_w=tdp)
+        except ValueError as exc:
+            return _error(400, str(exc))
+        cache_key = (nodes, samples, seed, area, tdp)
+        payload = self._projection_cache.get(cache_key)
+        if payload is None:
+            try:
+                dataset = await self._scheduler.offload(
+                    self._scheduler.run_projection, nodes, samples, budget, seed
+                )
+            except ValueError as exc:
+                return _error(500, f"projection search failed: {exc}")
+            report = evaluate_projection_finding(dataset)
+            payload = {
+                "params": {
+                    "nodes": list(nodes),
+                    "samples": samples,
+                    "seed": seed,
+                    "area_mm2": area,
+                    "tdp_w": tdp,
+                },
+                "candidates": dataset.candidate_count(),
+                "dataset": dataset.to_dict(),
+                "finding": {
+                    "id": report.finding_id,
+                    "holds": report.holds,
+                    "evidence": report.evidence,
+                },
+            }
+            self._projection_cache[cache_key] = payload
+        return _json_response(200, payload)
 
     async def _healthz(self, request: Request) -> Response:
         draining = self._scheduler.draining

@@ -1,5 +1,7 @@
 """Property-based tests for Pareto-frontier invariants."""
 
+import random
+
 from hypothesis import given
 from hypothesis import strategies as st
 
@@ -74,3 +76,36 @@ class TestFrontierInvariants:
             p.performance == best.performance and p.energy == best.energy
             for p in frontier
         )
+
+    @given(points, st.integers(min_value=0, max_value=2**32 - 1))
+    def test_frontier_unique_under_permutation(self, ps, seed):
+        """The frontier — membership AND order — is a pure function of the
+        point *set*, not the input order.  This is what lets the projection
+        subsystem promise byte-identical datasets across shard orders."""
+        shuffled = list(ps)
+        random.Random(seed).shuffle(shuffled)
+        assert list(pareto_efficient(shuffled)) == list(pareto_efficient(ps))
+
+
+class TestDominanceRelation:
+    @given(points)
+    def test_dominance_irreflexive(self, ps):
+        for point in ps:
+            assert not point.dominates(point)
+
+    @given(points)
+    def test_dominance_antisymmetric(self, ps):
+        for a in ps:
+            for b in ps:
+                if a.dominates(b):
+                    assert not b.dominates(a)
+
+    @given(points)
+    def test_dominance_transitive(self, ps):
+        for a in ps:
+            for b in ps:
+                if not a.dominates(b):
+                    continue
+                for c in ps:
+                    if b.dominates(c):
+                        assert a.dominates(c)

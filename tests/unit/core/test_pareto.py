@@ -69,8 +69,41 @@ class TestEfficientSet:
         points = [_p("a", 1.0, 1.0), _p("b", 1.0, 1.0)]
         assert len(pareto_efficient(points)) == 2
 
+    def test_duplicates_survive_in_key_order(self):
+        """Exact duplicates tie on both axes, so the key breaks the tie —
+        whichever order they arrive in."""
+        forward = pareto_efficient([_p("a", 1.0, 1.0), _p("b", 1.0, 1.0)])
+        backward = pareto_efficient([_p("b", 1.0, 1.0), _p("a", 1.0, 1.0)])
+        assert [p.key for p in forward] == ["a", "b"]
+        assert list(forward) == list(backward)
+
     def test_single_point(self):
         assert len(pareto_efficient([_p("only", 1.0, 1.0)])) == 1
+
+    def test_empty_input(self):
+        assert pareto_efficient([]) == ()
+
+    def test_performance_tie_breaks_by_energy_then_key(self):
+        """Equal-performance points on the frontier order by energy, and
+        the order cannot depend on input order."""
+        tied_cheap = _p("z", 2.0, 0.5)
+        tied_dear = _p("a", 2.0, 0.5)
+        anchor = _p("m", 3.0, 1.0)
+        out = pareto_efficient([tied_cheap, anchor, tied_dear])
+        assert [p.key for p in out] == ["a", "z", "m"]
+        out_permuted = pareto_efficient([anchor, tied_dear, tied_cheap])
+        assert list(out) == list(out_permuted)
+
+    def test_axis_tie_with_domination(self):
+        """A point tied on performance but strictly worse on energy is
+        dominated and must drop out."""
+        points = [_p("lean", 2.0, 0.5), _p("hungry", 2.0, 0.9)]
+        assert [p.key for p in pareto_efficient(points)] == ["lean"]
+
+    def test_same_object_listed_twice(self):
+        point = _p("twin", 1.0, 1.0)
+        out = pareto_efficient([point, point])
+        assert len(out) == 2
 
 
 class TestFrontierCurve:
